@@ -1,0 +1,24 @@
+"""Benchmark options.
+
+``--full-scale`` switches every experiment bench to the paper's §6
+parameters (450 applications, 20,000 scenarios per fault count, the
+full Table 1 M sweep).  The default scales are chosen so the whole
+benchmark suite finishes in minutes while preserving the paper's
+qualitative shapes.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="run experiment benches at the paper's full §6 scale (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_scale(request):
+    return request.config.getoption("--full-scale")

@@ -1,0 +1,42 @@
+"""Bench: regenerate the cruise-controller case study (paper §6).
+
+Paper numbers on their CC instance: 39 schedules give FTQS a 14%
+no-fault improvement over FTSS and 81% over FTSF; utility drops by 4%
+under one fault and 9% under two.  Our reconstructed CC (the original
+graph is unpublished) must reproduce the shape: FTQS > FTSS >> FTSF,
+with single-digit-percent degradation under faults.
+"""
+
+import pytest
+
+from repro.evaluation.experiments.cc import CCConfig, run_cc
+
+DEFAULT = CCConfig(max_schedules=39, n_scenarios=400)
+
+
+@pytest.fixture(scope="module")
+def config(request):
+    if request.config.getoption("--full-scale"):
+        return CCConfig.paper_scale()
+    return DEFAULT
+
+
+def test_cruise_controller(benchmark, config):
+    report = benchmark.pedantic(
+        run_cc, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(report.format())
+
+    # Who wins, and in the right order of magnitude.
+    assert report.ftqs_vs_ftss_percent > 3.0
+    assert report.ftqs_vs_ftsf_percent > 30.0
+    assert report.ftqs_vs_ftsf_percent > report.ftqs_vs_ftss_percent
+    # Graceful degradation: single-digit-ish percentages, monotone.
+    assert 0.0 <= report.degradation_1_fault_percent < 20.0
+    assert (
+        report.degradation_1_fault_percent
+        <= report.degradation_2_faults_percent
+        < 25.0
+    )
+    assert report.distinct_schedules <= config.max_schedules

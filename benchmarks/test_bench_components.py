@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the pipeline components.
+
+These quantify the claims the macro experiments rest on:
+
+* FTSS construction time scales with the application size (the basis
+  of Table 1's runtime column);
+* the quasi-static *online* decision — one arc scan per completion —
+  costs microseconds, which is the paper's §1 argument against full
+  online re-planning (measured side by side here);
+* one Monte-Carlo simulation cycle is cheap enough to support the
+  paper's 20,000-scenario evaluations.
+"""
+
+import pytest
+
+from repro.evaluation.montecarlo import MonteCarloEvaluator
+from repro.faults.injection import ScenarioSampler, average_case_scenario
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.runtime.online import OnlineScheduler
+from repro.runtime.replanner import run_replanning
+from repro.scheduling.ftss import ftss
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+
+@pytest.fixture(scope="module", params=[10, 30, 50])
+def sized_app(request):
+    return generate_application(
+        WorkloadSpec(n_processes=request.param), seed=request.param
+    )
+
+
+def test_ftss_construction(benchmark, sized_app):
+    """FTSS synthesis time per application size."""
+    schedule = benchmark(ftss, sized_app)
+    assert schedule is not None
+
+
+def test_ftqs_tree_construction(benchmark):
+    """FTQS tree construction (M = 8) on a 30-process application."""
+    app = generate_application(WorkloadSpec(n_processes=30), seed=30)
+    root = ftss(app)
+    tree = benchmark.pedantic(
+        ftqs,
+        args=(app, root, FTQSConfig(max_schedules=8)),
+        rounds=2,
+        iterations=1,
+    )
+    assert tree.different_schedules() <= 8
+
+
+def test_online_cycle(benchmark):
+    """One full simulated operation cycle (quasi-static scheduler)."""
+    app = generate_application(WorkloadSpec(n_processes=30), seed=30)
+    root = ftss(app)
+    tree = ftqs(app, root, FTQSConfig(max_schedules=8))
+    scheduler = OnlineScheduler(app, tree, record_events=False)
+    scenario = average_case_scenario(app)
+    result = benchmark(scheduler.run, scenario)
+    assert result.met_all_hard_deadlines
+
+
+def test_online_replanning_cycle(benchmark):
+    """The §1 straw man: one cycle with FTSS re-run at every
+    completion.  Compare with test_online_cycle — the gap is the
+    overhead quasi-static scheduling avoids."""
+    app = generate_application(WorkloadSpec(n_processes=30), seed=30)
+    scenario = average_case_scenario(app)
+    outcome = benchmark.pedantic(
+        run_replanning, args=(app, scenario), rounds=2, iterations=1
+    )
+    assert outcome.result.met_all_hard_deadlines
+
+
+def test_montecarlo_throughput(benchmark):
+    """200 paired scenarios against a static schedule."""
+    app = generate_application(WorkloadSpec(n_processes=20), seed=20)
+    root = ftss(app)
+    evaluator = MonteCarloEvaluator(
+        app, n_scenarios=50, fault_counts=[0, 2], seed=1
+    )
+    outcomes = benchmark.pedantic(
+        evaluator.evaluate, args=(root,), rounds=2, iterations=1
+    )
+    assert outcomes[0].ok

@@ -1,0 +1,45 @@
+"""Bench: regenerate Fig. 9a — no-fault utility of FTSF/FTSS/FTQS vs
+application size, normalized to FTQS.
+
+Paper shape: FTQS = 100%; FTSS trails by 11-18%; FTSF is the clear
+loser (the paper reports it 20-70% below FTSS).
+"""
+
+import pytest
+
+from repro.evaluation.experiments.fig9 import (
+    Fig9Config,
+    fig9a_rows,
+    format_fig9,
+    run_fig9,
+)
+
+DEFAULT = Fig9Config(apps_per_size=3, n_scenarios=100, max_schedules=8)
+
+
+@pytest.fixture(scope="module")
+def config(request):
+    if request.config.getoption("--full-scale"):
+        return Fig9Config.paper_scale()
+    return DEFAULT
+
+
+def test_fig9a(benchmark, config):
+    rows = benchmark.pedantic(
+        run_fig9, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig9(rows, panel="a"))
+
+    panel = fig9a_rows(rows)
+    ftqs = {r.size: r.utility_percent for r in panel if r.approach == "FTQS"}
+    ftss = {r.size: r.utility_percent for r in panel if r.approach == "FTSS"}
+    ftsf = {r.size: r.utility_percent for r in panel if r.approach == "FTSF"}
+    # Shape assertions (who wins, and by roughly what order).
+    for size in config.sizes:
+        assert ftqs[size] == pytest.approx(100.0)
+        assert ftss[size] <= 100.0 + 1e-6
+        assert ftsf[size] <= ftss[size] + 5.0  # FTSF clearly not ahead
+    mean_ftss = sum(ftss.values()) / len(ftss)
+    mean_ftsf = sum(ftsf.values()) / len(ftsf)
+    assert mean_ftsf < mean_ftss < 100.0

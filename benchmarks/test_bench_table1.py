@@ -1,0 +1,49 @@
+"""Bench: regenerate Table 1 — utility (normalized to FTSS) and
+construction runtime as the quasi-static tree size M grows.
+
+Paper shape: utility rises steeply for the first few nodes (+11% at
+M = 2, +21% at M = 8 in the no-fault column), then saturates (+26% at
+M = 89), while the construction runtime keeps growing with M.
+"""
+
+import pytest
+
+from repro.evaluation.experiments.table1 import (
+    Table1Config,
+    format_table1,
+    run_table1,
+)
+
+DEFAULT = Table1Config(
+    tree_sizes=(1, 2, 8, 13, 23, 34),
+    n_apps=3,
+    n_scenarios=100,
+)
+
+
+@pytest.fixture(scope="module")
+def config(request):
+    if request.config.getoption("--full-scale"):
+        return Table1Config.paper_scale()
+    return DEFAULT
+
+
+def test_table1(benchmark, config):
+    rows = benchmark.pedantic(
+        run_table1, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table1(rows))
+
+    assert rows[0].nodes == 1
+    assert rows[0].utility_percent[0] == pytest.approx(100.0)
+    # Utility never decreases along the sweep (paired scenarios,
+    # switch-only-if-better), and the largest tree strictly improves
+    # over the single f-schedule.
+    for earlier, later in zip(rows, rows[1:]):
+        assert (
+            later.utility_percent[0] >= earlier.utility_percent[0] - 1.0
+        )
+    assert rows[-1].utility_percent[0] > 100.0
+    # Construction cost grows with M (the paper's runtime column).
+    assert rows[-1].runtime_seconds >= rows[0].runtime_seconds

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Design-space exploration: how big should the quasi-static tree be?
+
+The paper's Table 1 shows the trade-off FTQS is built around: each
+additional precalculated schedule costs memory on the embedded target
+and synthesis time off-line, but buys overall utility — with sharply
+diminishing returns.  This script sweeps M on one 30-process
+application, prints the utility/memory/time frontier and a crude
+memory estimate of the serialized tree (what would ship to the
+target).
+
+Run:  python examples/tree_size_exploration.py
+"""
+
+import json
+import time
+
+from repro.evaluation import MonteCarloEvaluator
+from repro.io import tree_to_dict
+from repro.quasistatic import FTQSConfig, ftqs
+from repro.scheduling import ftss
+from repro.workloads import WorkloadSpec, generate_application
+
+
+def main() -> None:
+    # A loaded application (period pressure < 1) so the worst-case
+    # root schedule must drop work that quasi-static switching can
+    # recover — the regime the paper's Table 1 explores.
+    app = generate_application(
+        WorkloadSpec(
+            n_processes=30,
+            soft_ratio=0.5,
+            period_pressure_range=(0.7, 0.9),
+        ),
+        seed=42,
+    )
+    print(f"application: {app}")
+    root = ftss(app)
+    evaluator = MonteCarloEvaluator(
+        app, n_scenarios=400, fault_counts=[0, 1, 2, 3], seed=5
+    )
+    base = evaluator.evaluate(root)
+
+    print(
+        f"\n{'M':>4} {'nodes':>6} {'U(0f)%':>8} {'U(3f)%':>8} "
+        f"{'build s':>8} {'tree kB':>8}"
+    )
+    for m in (1, 2, 4, 8, 13, 23, 34):
+        start = time.perf_counter()
+        plan = root if m == 1 else ftqs(app, root, FTQSConfig(max_schedules=m))
+        elapsed = time.perf_counter() - start
+        outcome = evaluator.evaluate(plan)
+        if m == 1:
+            nodes, size_kb = 1, 0.0
+        else:
+            nodes = len(plan)
+            size_kb = len(json.dumps(tree_to_dict(plan))) / 1024.0
+        print(
+            f"{m:>4} {nodes:>6} "
+            f"{100 * outcome[0].mean_utility / base[0].mean_utility:>8.1f} "
+            f"{100 * outcome[3].mean_utility / base[3].mean_utility:>8.1f} "
+            f"{elapsed:>8.2f} {size_kb:>8.1f}"
+        )
+
+    print(
+        "\nReading the frontier: the first handful of schedules buys "
+        "most of the improvement (the paper reports +11% at M = 2 and "
+        "+21% at M = 8, saturating at +26%); past that, memory and "
+        "synthesis time keep growing for little return."
+    )
+
+
+if __name__ == "__main__":
+    main()

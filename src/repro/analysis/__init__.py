@@ -1,0 +1,22 @@
+"""Analysis helpers: Gantt charts, statistics and synthesis reports."""
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.report import SynthesisReport, synthesis_report
+from repro.analysis.treeview import render_tree
+from repro.analysis.stats import (
+    confidence_interval_95,
+    geometric_mean,
+    mean_std,
+    paired_improvement_percent,
+)
+
+__all__ = [
+    "SynthesisReport",
+    "confidence_interval_95",
+    "geometric_mean",
+    "mean_std",
+    "paired_improvement_percent",
+    "render_gantt",
+    "render_tree",
+    "synthesis_report",
+]

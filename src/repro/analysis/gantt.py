@@ -1,0 +1,114 @@
+"""ASCII Gantt charts of simulated operation cycles.
+
+Renders an :class:`~repro.runtime.ExecutionResult` trace as a
+character timeline, one row per process in execution order, with
+execution (``=``), recovery overhead (``r``), faulted attempts (``x``)
+and the schedule switches annotated.  Intended for examples, debugging
+and documentation — an at-a-glance view of how the online scheduler
+reacted to the scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.application import Application
+from repro.runtime.trace import EventKind, ExecutionResult
+
+
+def _collect_bars(
+    result: ExecutionResult,
+) -> List[Tuple[str, int, int, str]]:
+    """(process, start, end, glyph) bars from the event trace."""
+    bars: List[Tuple[str, int, int, str]] = []
+    open_starts: Dict[Tuple[str, int], int] = {}
+    for event in result.events:
+        if event.kind is EventKind.START:
+            open_starts[(event.process, event.detail)] = event.time
+        elif event.kind in (EventKind.COMPLETE, EventKind.FAULT):
+            key = (event.process, event.detail)
+            start = open_starts.pop(key, None)
+            if start is None:
+                continue
+            glyph = "=" if event.kind is EventKind.COMPLETE else "x"
+            bars.append((event.process, start, event.time, glyph))
+        elif event.kind is EventKind.RECOVERY:
+            # Recovery overhead µ occupies [time, next start).
+            bars.append((event.process, event.time, None, "r"))
+    # Resolve recovery bar ends: they extend to the next start of the
+    # same process.
+    resolved: List[Tuple[str, int, int, str]] = []
+    for index, (name, start, end, glyph) in enumerate(bars):
+        if end is not None:
+            resolved.append((name, start, end, glyph))
+            continue
+        next_start = None
+        for other, other_start, other_end, other_glyph in bars:
+            if other == name and other_glyph != "r" and other_start >= start:
+                next_start = other_start if next_start is None else min(
+                    next_start, other_start
+                )
+        resolved.append((name, start, next_start or start, glyph))
+    return resolved
+
+
+def render_gantt(
+    app: Application,
+    result: ExecutionResult,
+    width: int = 78,
+    show_switches: bool = True,
+) -> str:
+    """Render the cycle as an ASCII chart.
+
+    ``width`` is the number of character columns used for the period;
+    every bar is scaled accordingly (minimum one column so short
+    processes stay visible).
+    """
+    if not result.events:
+        return "(no events recorded — run the scheduler with record_events=True)"
+    bars = _collect_bars(result)
+    if not bars:
+        return "(no executions in trace)"
+    horizon = max(app.period, result.makespan, 1)
+    scale = width / horizon
+
+    order: List[str] = []
+    for name, _, _, _ in bars:
+        if name not in order:
+            order.append(name)
+    label_width = max(len(n) for n in order) + 1
+
+    lines: List[str] = []
+    header = " " * label_width + f"0{' ' * (width - len(str(horizon)) - 1)}{horizon}"
+    lines.append(header)
+    for name in order:
+        row = [" "] * width
+        for bar_name, start, end, glyph in bars:
+            if bar_name != name:
+                continue
+            a = min(width - 1, int(start * scale))
+            b = min(width - 1, max(a, int(end * scale) - 1))
+            for i in range(a, b + 1):
+                row[i] = glyph
+        deadline = app.process(name).deadline
+        if deadline is not None:
+            mark = min(width - 1, int(deadline * scale))
+            row[mark] = "|" if row[mark] == " " else row[mark]
+        suffix = ""
+        if name in result.completion_times:
+            suffix = f"  @{result.completion_times[name]}"
+        lines.append(name.ljust(label_width) + "".join(row) + suffix)
+    if result.dropped:
+        lines.append(f"dropped: {', '.join(sorted(result.dropped))}")
+    if show_switches and result.switches:
+        switch_events = result.events_of_kind(EventKind.SWITCH)
+        notes = ", ".join(
+            f"t={e.time} after {e.process} -> node {e.detail}"
+            for e in switch_events
+        )
+        lines.append(f"switches: {notes}")
+    lines.append(
+        f"utility: {result.utility:.1f}   faults: {result.faults_observed}"
+        f"   makespan: {result.makespan}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Small statistics helpers shared by benches and examples."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+
+def mean_std(values: Iterable[float]) -> Tuple[float, float]:
+    """Sample mean and standard deviation (0.0 std for n <= 1)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return float("nan"), float("nan")
+    if data.size == 1:
+        return float(data[0]), 0.0
+    return float(np.mean(data)), float(np.std(data, ddof=1))
+
+
+def confidence_interval_95(values: Iterable[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% CI of the mean."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return float("nan"), float("nan")
+    mean = float(np.mean(data))
+    if data.size == 1:
+        return mean, mean
+    half = 1.96 * float(np.std(data, ddof=1)) / math.sqrt(data.size)
+    return mean - half, mean + half
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; values must be positive."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return float("nan")
+    if np.any(data <= 0):
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(data))))
+
+
+def paired_improvement_percent(
+    baseline: Iterable[float], improved: Iterable[float]
+) -> List[float]:
+    """Per-pair improvement of ``improved`` over ``baseline`` in %."""
+    base = list(baseline)
+    new = list(improved)
+    if len(base) != len(new):
+        raise ValueError("paired comparison needs equal-length sequences")
+    out: List[float] = []
+    for b, n in zip(base, new):
+        if b <= 0:
+            continue
+        out.append(100.0 * (n - b) / b)
+    return out

@@ -1,0 +1,62 @@
+"""ASCII rendering of quasi-static trees.
+
+Shows the tree the way the online scheduler sees it: each node's
+schedule order (with re-execution caps), and each arc's switch
+condition.  Used by examples and the synthesis report for quick visual
+inspection of what FTQS produced.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.quasistatic.tree import QSNode, QSTree
+
+
+def _schedule_label(node: QSNode, max_entries: int = 8) -> str:
+    parts = []
+    for entry in node.schedule.entries[:max_entries]:
+        if entry.reexecutions:
+            parts.append(f"{entry.name}+{entry.reexecutions}")
+        else:
+            parts.append(entry.name)
+    if len(node.schedule.entries) > max_entries:
+        parts.append(f"... ({len(node.schedule.entries)} total)")
+    return " ".join(parts)
+
+
+def render_tree(tree: QSTree, max_entries: int = 8) -> str:
+    """Render ``tree`` as an indented ASCII outline.
+
+    Example output::
+
+        [0] P1+1 P3 P2
+         |- after P1 in [30, 40] -> [1]
+         |   [1] P2 P3
+    """
+    lines: List[str] = []
+
+    def visit(node_id: int, depth: int) -> None:
+        node = tree.node(node_id)
+        indent = " |  " * depth
+        marker = f"[{node.node_id}]"
+        extra = ""
+        if node.assumed_faults:
+            extra = f"  (assumes {node.assumed_faults} fault(s))"
+        dropped = sorted(node.schedule.dropped)
+        drop_note = f"  drops: {', '.join(dropped)}" if dropped else ""
+        lines.append(
+            f"{indent}{marker} {_schedule_label(node, max_entries)}"
+            f"{extra}{drop_note}"
+        )
+        for arc in node.arcs:
+            condition = f"after {arc.process} in [{arc.lo}, {arc.hi}]"
+            if arc.required_faults:
+                condition += f", >= {arc.required_faults} faults"
+            lines.append(
+                f"{indent} |- {condition} -> [{arc.target}]"
+            )
+            visit(arc.target, depth + 1)
+
+    visit(tree.root_id, 0)
+    return "\n".join(lines)

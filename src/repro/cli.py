@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro ...`` / ``repro ...``.
+
+Sub-commands:
+
+* ``experiment {fig9a,fig9b,table1,cc,ablations}`` — regenerate a
+  paper table/figure (``--paper-scale`` restores the full §6 sizes);
+* ``demo`` — run the quickstart pipeline on the paper's Fig. 1
+  example and print a Gantt chart;
+* ``schedule APP.json`` — synthesize a quasi-static tree for an
+  application stored as JSON and write it next to it;
+* ``simulate APP.json TREE.json`` — replay random scenarios against a
+  stored tree and report utilities;
+* ``export APP.json TREE.json DIR`` — render the tree as embedded C
+  tables (header + source) into ``DIR``;
+* ``report APP.json`` — run the full pipeline and print a markdown
+  synthesis report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.evaluation.experiments import (
+    AblationConfig,
+    CCConfig,
+    Fig9Config,
+    Table1Config,
+    format_ablations,
+    format_fig9,
+    format_table1,
+    run_ablations,
+    run_cc,
+    run_fig9,
+    run_table1,
+)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name in ("fig9a", "fig9b"):
+        config = (
+            Fig9Config.paper_scale() if args.paper_scale else Fig9Config()
+        )
+        if args.apps:
+            config = Fig9Config(
+                apps_per_size=args.apps,
+                n_scenarios=config.n_scenarios,
+                max_schedules=config.max_schedules,
+            )
+        rows = run_fig9(config)
+        print(format_fig9(rows, panel="a" if name == "fig9a" else "b"))
+        return 0
+    if name == "table1":
+        config = (
+            Table1Config.paper_scale() if args.paper_scale else Table1Config()
+        )
+        print(format_table1(run_table1(config)))
+        return 0
+    if name == "cc":
+        config = CCConfig.paper_scale() if args.paper_scale else CCConfig()
+        print(run_cc(config).format())
+        return 0
+    if name == "ablations":
+        print(format_ablations(run_ablations(AblationConfig())))
+        return 0
+    if name == "sweeps":
+        from repro.evaluation.experiments import (
+            format_sweep,
+            run_fault_budget_sweep,
+            run_soft_ratio_sweep,
+        )
+
+        print(format_sweep(run_soft_ratio_sweep(), "soft ratio"))
+        print()
+        print(format_sweep(run_fault_budget_sweep(), "fault budget k"))
+        return 0
+    print(f"unknown experiment {name!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.analysis.gantt import render_gantt
+    from repro.examples_support import paper_fig1_application
+    from repro.faults.injection import ScenarioSampler
+    from repro.quasistatic.ftqs import schedule_application
+    from repro.runtime.online import simulate
+
+    app = paper_fig1_application()
+    result = schedule_application(app, max_schedules=args.schedules)
+    print(f"quasi-static tree: {result.summary()}")
+    sampler = ScenarioSampler(app, seed=args.seed)
+    scenario = sampler.sample(faults=args.faults)
+    outcome = simulate(app, result.tree, scenario)
+    print(render_gantt(app, outcome))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.io.json_io import (
+        application_from_dict,
+        load_json,
+        save_json,
+        tree_to_dict,
+    )
+    from repro.quasistatic.ftqs import schedule_application
+
+    app = application_from_dict(load_json(args.application))
+    result = schedule_application(app, max_schedules=args.schedules)
+    output = args.output or args.application.replace(".json", ".tree.json")
+    save_json(tree_to_dict(result.tree), output)
+    print(f"{result.summary()}\nwritten to {output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.evaluation.montecarlo import MonteCarloEvaluator
+    from repro.io.json_io import (
+        application_from_dict,
+        load_json,
+        tree_from_dict,
+    )
+
+    app = application_from_dict(load_json(args.application))
+    tree = tree_from_dict(app, load_json(args.tree))
+    evaluator = MonteCarloEvaluator(
+        app,
+        n_scenarios=args.scenarios,
+        fault_counts=list(range(app.k + 1)),
+        seed=args.seed,
+    )
+    outcomes = evaluator.evaluate(tree)
+    for faults, outcome in sorted(outcomes.items()):
+        status = "ok" if outcome.ok else "DEADLINE MISSES"
+        print(
+            f"{faults} faults: mean utility {outcome.mean_utility:.1f}, "
+            f"{outcome.mean_switches:.2f} switches/cycle [{status}]"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io.c_export import write_c_tables
+    from repro.io.json_io import (
+        application_from_dict,
+        load_json,
+        tree_from_dict,
+    )
+
+    app = application_from_dict(load_json(args.application))
+    tree = tree_from_dict(app, load_json(args.tree))
+    header_path, source_path = write_c_tables(
+        app, tree, args.directory, symbol=args.symbol
+    )
+    print(f"wrote {header_path}\nwrote {source_path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import synthesis_report
+    from repro.io.json_io import application_from_dict, load_json
+
+    app = application_from_dict(load_json(args.application))
+    report = synthesis_report(
+        app,
+        max_schedules=args.schedules,
+        n_scenarios=args.scenarios,
+        seed=args.seed,
+    )
+    print(report.to_markdown())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Fault-tolerant quasi-static scheduling (Izosimov et al., "
+            "DATE 2008) — schedule synthesis, simulation and the "
+            "paper's experiments."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp.add_argument(
+        "name",
+        choices=["fig9a", "fig9b", "table1", "cc", "ablations", "sweeps"],
+    )
+    exp.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="full §6 sizes (50 apps/size, 20k scenarios) — slow",
+    )
+    exp.add_argument("--apps", type=int, default=0, help="apps per size")
+    exp.set_defaults(func=_cmd_experiment)
+
+    demo = sub.add_parser("demo", help="run the Fig. 1 example")
+    demo.add_argument("--schedules", type=int, default=8)
+    demo.add_argument("--faults", type=int, default=1)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(func=_cmd_demo)
+
+    sched = sub.add_parser("schedule", help="synthesize a tree for an app")
+    sched.add_argument("application", help="application JSON file")
+    sched.add_argument("--schedules", type=int, default=16)
+    sched.add_argument("--output", default=None)
+    sched.set_defaults(func=_cmd_schedule)
+
+    sim = sub.add_parser("simulate", help="replay scenarios against a tree")
+    sim.add_argument("application")
+    sim.add_argument("tree")
+    sim.add_argument("--scenarios", type=int, default=200)
+    sim.add_argument("--seed", type=int, default=1)
+    sim.set_defaults(func=_cmd_simulate)
+
+    export = sub.add_parser("export", help="render a tree as C tables")
+    export.add_argument("application")
+    export.add_argument("tree")
+    export.add_argument("directory")
+    export.add_argument("--symbol", default="app")
+    export.set_defaults(func=_cmd_export)
+
+    report = sub.add_parser("report", help="print a synthesis report")
+    report.add_argument("application")
+    report.add_argument("--schedules", type=int, default=8)
+    report.add_argument("--scenarios", type=int, default=200)
+    report.add_argument("--seed", type=int, default=1)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the main
+failure modes of the scheduling pipeline:
+
+* model construction problems (:class:`ModelError` and friends),
+* schedulability failures (:class:`UnschedulableError`), and
+* misuse of the runtime machinery (:class:`RuntimeModelError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An application model is malformed or inconsistent."""
+
+
+class GraphError(ModelError):
+    """A process graph violates a structural requirement (e.g. a cycle)."""
+
+
+class TimingError(ModelError):
+    """Execution times or deadlines are inconsistent (e.g. BCET > WCET)."""
+
+
+class UtilityError(ModelError):
+    """A utility function violates its contract (e.g. it increases)."""
+
+
+class UnschedulableError(ReproError):
+    """No schedule exists that guarantees the hard deadlines.
+
+    Raised by the schedule synthesis entry points when even the
+    fault-tolerant root schedule cannot satisfy every hard deadline in
+    the worst-case fault scenario.  Mirrors the ``return unschedulable``
+    outcome of the paper's ``SchedulingStrategy`` (Fig. 6).
+    """
+
+
+class SchedulingError(ReproError):
+    """An internal scheduling invariant was violated."""
+
+
+class RuntimeModelError(ReproError):
+    """The runtime simulator was driven with inconsistent inputs."""
+
+
+class SerializationError(ReproError):
+    """A persisted artifact could not be encoded or decoded."""

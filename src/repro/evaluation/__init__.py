@@ -1,0 +1,30 @@
+"""Evaluation harness: Monte-Carlo simulation, exhaustive
+verification, metrics and the experiment drivers."""
+
+from repro.evaluation.metrics import CellStats, NormalizedTable, format_table
+from repro.evaluation.montecarlo import (
+    EvaluationOutcome,
+    MonteCarloEvaluator,
+    normalized_to,
+)
+from repro.evaluation.verification import (
+    Counterexample,
+    VerificationReport,
+    combination_count,
+    verify_all_reachable_schedules,
+    verify_deadline_guarantee,
+)
+
+__all__ = [
+    "CellStats",
+    "Counterexample",
+    "EvaluationOutcome",
+    "MonteCarloEvaluator",
+    "NormalizedTable",
+    "VerificationReport",
+    "combination_count",
+    "format_table",
+    "normalized_to",
+    "verify_all_reachable_schedules",
+    "verify_deadline_guarantee",
+]

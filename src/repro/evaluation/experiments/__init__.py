@@ -1,0 +1,55 @@
+"""Experiment drivers: one module per paper table/figure + ablations."""
+
+from repro.evaluation.experiments.ablations import (
+    AblationConfig,
+    AblationRow,
+    format_ablations,
+    run_ablations,
+)
+from repro.evaluation.experiments.cc import CCConfig, CCReport, run_cc
+from repro.evaluation.experiments.fig9 import (
+    Fig9Config,
+    Fig9Row,
+    fig9a_rows,
+    fig9b_rows,
+    format_fig9,
+    run_fig9,
+)
+from repro.evaluation.experiments.sweeps import (
+    SweepConfig,
+    SweepRow,
+    format_sweep,
+    run_fault_budget_sweep,
+    run_soft_ratio_sweep,
+)
+from repro.evaluation.experiments.table1 import (
+    Table1Config,
+    Table1Row,
+    format_table1,
+    run_table1,
+)
+
+__all__ = [
+    "AblationConfig",
+    "AblationRow",
+    "CCConfig",
+    "CCReport",
+    "Fig9Config",
+    "Fig9Row",
+    "SweepConfig",
+    "SweepRow",
+    "Table1Config",
+    "Table1Row",
+    "format_sweep",
+    "run_fault_budget_sweep",
+    "run_soft_ratio_sweep",
+    "fig9a_rows",
+    "fig9b_rows",
+    "format_ablations",
+    "format_fig9",
+    "format_table1",
+    "run_ablations",
+    "run_cc",
+    "run_fig9",
+    "run_table1",
+]

@@ -1,0 +1,104 @@
+"""Cross-application aggregation helpers for the experiment drivers.
+
+Each experiment runs several approaches on many applications; the
+paper reports utilities *normalized per application* (to FTQS in
+Fig. 9, to FTSS in Table 1) and then averaged.  Normalizing before
+averaging keeps applications with large absolute utilities from
+dominating the mean, which is also why we follow the same order here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CellStats:
+    """Summary statistics of one (approach, fault-count) table cell."""
+
+    mean: float
+    std: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "CellStats":
+        data = np.asarray(list(values), dtype=float)
+        if data.size == 0:
+            return cls(mean=float("nan"), std=float("nan"), count=0)
+        return cls(
+            mean=float(np.mean(data)),
+            std=float(np.std(data)),
+            count=int(data.size),
+        )
+
+
+class NormalizedTable:
+    """Accumulates per-application normalized utilities.
+
+    ``add(app_index, approach, faults, percent)`` records one value;
+    ``cell(approach, faults)`` aggregates across applications.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[Tuple[str, int], List[float]] = {}
+
+    def add(self, approach: str, faults: int, percent: float) -> None:
+        self._values.setdefault((approach, faults), []).append(percent)
+
+    def cell(self, approach: str, faults: int) -> CellStats:
+        return CellStats.from_values(self._values.get((approach, faults), []))
+
+    def approaches(self) -> List[str]:
+        return sorted({a for a, _ in self._values})
+
+    def fault_counts(self) -> List[int]:
+        return sorted({f for _, f in self._values})
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flat row dicts (approach, faults, mean, std, n) for printing."""
+        rows = []
+        for approach in self.approaches():
+            for faults in self.fault_counts():
+                stats = self.cell(approach, faults)
+                if stats.count == 0:
+                    continue
+                rows.append(
+                    {
+                        "approach": approach,
+                        "faults": faults,
+                        "mean": stats.mean,
+                        "std": stats.std,
+                        "n": stats.count,
+                    }
+                )
+        return rows
+
+
+def format_table(
+    headers: List[str], rows: List[List[object]], title: Optional[str] = None
+) -> str:
+    """Plain-text table renderer used by every experiment driver."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,165 @@
+"""Monte-Carlo evaluation of schedules and quasi-static trees (§6).
+
+The paper evaluates every approach on 20,000 execution scenarios per
+fault count (0, 1, 2, 3 faults), with actual execution times drawn
+uniformly from [BCET, WCET].  Crucially, the *same* scenarios are
+replayed against every approach — the comparison is paired — which is
+what :class:`MonteCarloEvaluator` implements: scenarios are generated
+once per (application, fault count) and each plan runs them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import RuntimeModelError
+from repro.faults.injection import ExecutionScenario, ScenarioSampler
+from repro.model.application import Application
+from repro.quasistatic.tree import QSTree
+from repro.runtime.online import OnlineScheduler
+from repro.scheduling.fschedule import FSchedule
+
+Plan = Union[QSTree, FSchedule]
+
+
+@dataclass
+class EvaluationOutcome:
+    """Aggregated simulation results of one plan on one scenario set."""
+
+    mean_utility: float
+    utilities: List[float] = field(repr=False, default_factory=list)
+    deadline_misses: int = 0
+    mean_switches: float = 0.0
+    mean_faults: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when no simulated cycle missed a hard deadline."""
+        return self.deadline_misses == 0
+
+
+class MonteCarloEvaluator:
+    """Paired Monte-Carlo comparison of scheduling approaches.
+
+    Parameters
+    ----------
+    app:
+        The application under evaluation.
+    n_scenarios:
+        Scenarios per fault count (the paper uses 20,000; smaller
+        values keep the benches fast and the flag
+        ``--full-scale`` restores the paper's number).
+    fault_counts:
+        Which fault counts to evaluate (default 0..k).
+    seed:
+        Seed of the scenario sampler.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        n_scenarios: int = 200,
+        fault_counts: Optional[Sequence[int]] = None,
+        seed: int = 1,
+    ):
+        if n_scenarios < 1:
+            raise RuntimeModelError("need at least one scenario")
+        self.app = app
+        self.fault_counts = (
+            list(fault_counts)
+            if fault_counts is not None
+            else list(range(app.k + 1))
+        )
+        # Couple the fault-count axes: the i-th scenario of every fault
+        # count shares the same execution-time draws, differing only in
+        # the fault pattern.  Cross-fault-count comparisons ("utility
+        # drops by x% under one fault") are then paired rather than
+        # independent, which removes most of the sampling noise.
+        from repro.faults.scenarios import sample_scenario
+
+        sampler = ScenarioSampler(app, seed=seed)
+        max_attempts = max(self.fault_counts, default=0) + 1
+        names = [p.name for p in app.processes]
+        duration_sets = [
+            {
+                name: tuple(values)
+                for name, values in sampler.sample_durations(
+                    max_attempts
+                ).items()
+            }
+            for _ in range(n_scenarios)
+        ]
+        self.scenarios: Dict[int, List[ExecutionScenario]] = {}
+        for f in self.fault_counts:
+            patterns = [
+                sample_scenario(names, f, sampler.rng)
+                for _ in range(n_scenarios)
+            ]
+            self.scenarios[f] = [
+                ExecutionScenario(durations, pattern)
+                for durations, pattern in zip(duration_sets, patterns)
+            ]
+
+    def evaluate(self, plan: Plan) -> Dict[int, EvaluationOutcome]:
+        """Run all scenario sets against ``plan``.
+
+        Returns one :class:`EvaluationOutcome` per fault count.
+        """
+        scheduler = OnlineScheduler(self.app, plan, record_events=False)
+        outcomes: Dict[int, EvaluationOutcome] = {}
+        for faults, scenarios in self.scenarios.items():
+            utilities: List[float] = []
+            misses = 0
+            switches = 0
+            observed = 0
+            for scenario in scenarios:
+                result = scheduler.run(scenario)
+                utilities.append(result.utility)
+                if not result.met_all_hard_deadlines:
+                    misses += 1
+                switches += len(result.switches)
+                observed += result.faults_observed
+            count = len(scenarios)
+            outcomes[faults] = EvaluationOutcome(
+                mean_utility=float(np.mean(utilities)) if utilities else 0.0,
+                utilities=utilities,
+                deadline_misses=misses,
+                mean_switches=switches / count,
+                mean_faults=observed / count,
+            )
+        return outcomes
+
+    def compare(
+        self, plans: Mapping[str, Plan]
+    ) -> Dict[str, Dict[int, EvaluationOutcome]]:
+        """Evaluate several named plans on the same scenario sets."""
+        return {name: self.evaluate(plan) for name, plan in plans.items()}
+
+
+def normalized_to(
+    results: Mapping[str, Mapping[int, EvaluationOutcome]],
+    reference: str,
+    reference_faults: int = 0,
+) -> Dict[str, Dict[int, float]]:
+    """Mean utilities normalized to one approach/fault-count cell (%).
+
+    The paper's Fig. 9 normalizes everything to FTQS with no faults;
+    Table 1 normalizes to FTSS.  Returns percentages.
+    """
+    if reference not in results:
+        raise RuntimeModelError(f"unknown reference approach {reference!r}")
+    base = results[reference][reference_faults].mean_utility
+    if base <= 0:
+        raise RuntimeModelError(
+            "reference mean utility is non-positive; cannot normalize"
+        )
+    return {
+        name: {
+            faults: 100.0 * outcome.mean_utility / base
+            for faults, outcome in per_fault.items()
+        }
+        for name, per_fault in results.items()
+    }

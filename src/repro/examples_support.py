@@ -1,0 +1,101 @@
+"""The paper's worked examples as ready-made applications.
+
+These constructors encode the concrete numbers of the paper's figures
+so tests, examples and the CLI all speak about the same instances:
+
+* :func:`paper_fig1_application` — application A (Fig. 1): processes
+  P1 (hard, d = 180), P2/P3 (soft), T = 300, k = 1, µ = 10, with the
+  utility functions of Fig. 4a.  The utility levels are reconstructed
+  from the worked arithmetic in §3 (e.g. U2(100) = 20, U3(110) = 40,
+  U2(80) = 40, U3(140) = 30, U3(160) = 10), which pins the step
+  positions the OCR of the figure leaves ambiguous.
+* :func:`paper_fig8_application` — application A (Fig. 8): P1/P5 hard
+  (d = 110/220), P2/P3/P4 soft, k = 2, µ = 10, T = 220.  The utility
+  steps are pinned by U(S2') = U2(60)+U3(90)+U4(130) = 80 and
+  U(S2'') = U3(60) + 2/3·U4(90) = 50.
+* :func:`paper_fig2_utilities` — the Ua/Ub/Uc functions of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.model.application import Application
+from repro.model.graph import ProcessGraph
+from repro.model.process import hard_process, soft_process
+from repro.utility.functions import StepUtility, UtilityFunction
+
+
+def paper_fig1_application(period: int = 300) -> Application:
+    """Application A of Fig. 1 with the Fig. 4a utility functions.
+
+    ``period`` defaults to the 300 ms of Fig. 4b; pass 250 to get the
+    overload variant of Fig. 4c where a soft process must be dropped
+    in the worst case.
+    """
+    u2 = StepUtility(40, [(90, 20), (200, 10), (250, 0)])
+    u3 = StepUtility(40, [(130, 30), (150, 10), (220, 0)])
+    p1 = hard_process("P1", bcet=30, wcet=70, deadline=180, aet=50)
+    p2 = soft_process("P2", bcet=30, wcet=70, utility=u2, aet=50)
+    p3 = soft_process("P3", bcet=40, wcet=80, utility=u3, aet=60)
+    graph = ProcessGraph(
+        [p1, p2, p3],
+        [("P1", "P2"), ("P1", "P3")],
+        name="A-fig1",
+        period=period,
+    )
+    return Application(graph, period=period, k=1, mu=10)
+
+
+def paper_fig8_application() -> Application:
+    """Application A (graph G2) of Fig. 8.
+
+    P1 and P5 are hard (deadlines 110 and 220); P2, P3, P4 are soft.
+    P4 reads from both P2 and P3, which produces the stale coefficient
+    2/3 of the worked S2'' example when P2 is dropped.  P1's AET is
+    pinned to 30 so the schedule times of the worked example (P2 at
+    60, P3 at 90, P4 at 130) come out exactly.
+    """
+    u2 = StepUtility(40, [(60, 20), (100, 10), (130, 0)])
+    u3 = StepUtility(30, [(70, 20), (150, 10)])
+    u4 = StepUtility(30, [(100, 20), (150, 10)])
+    p1 = hard_process("P1", bcet=10, wcet=30, deadline=110, aet=30)
+    p2 = soft_process("P2", bcet=20, wcet=40, utility=u2, aet=30)
+    p3 = soft_process("P3", bcet=20, wcet=40, utility=u3, aet=30)
+    p4 = soft_process("P4", bcet=20, wcet=40, utility=u4, aet=30)
+    p5 = hard_process("P5", bcet=10, wcet=30, deadline=220, aet=20)
+    graph = ProcessGraph(
+        [p1, p2, p3, p4, p5],
+        [
+            ("P1", "P2"),
+            ("P1", "P3"),
+            ("P2", "P4"),
+            ("P3", "P4"),
+            ("P2", "P5"),
+        ],
+        name="A-fig8",
+        period=220,
+    )
+    return Application(graph, period=220, k=2, mu=10)
+
+
+def paper_fig2_utilities() -> Dict[str, UtilityFunction]:
+    """The Ua/Ub/Uc time/utility functions of Fig. 2.
+
+    Ua(60) = 20 (panel a); Ub(50) = 15 and Uc(110) = 10 sum to the
+    panel-b application utility of 25.
+    """
+    return {
+        "Ua": StepUtility(40, [(40, 20), (80, 0)]),
+        "Ub": StepUtility(30, [(40, 15), (90, 0)]),
+        "Uc": StepUtility(20, [(50, 10), (130, 0)]),
+    }
+
+
+def paper_fig3_recovery() -> Tuple[int, int, int]:
+    """The Fig. 3 re-execution arithmetic: (wcet, mu, k).
+
+    P1 runs 30 ms, µ = 5 ms, k = 2: the worst case occupies
+    3 executions + 2 recoveries = 100 ms.
+    """
+    return 30, 5, 2

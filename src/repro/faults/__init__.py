@@ -1,0 +1,31 @@
+"""Transient fault model, scenario enumeration and injection."""
+
+from repro.faults.injection import (
+    ExecutionScenario,
+    ScenarioSampler,
+    average_case_scenario,
+    best_case_scenario,
+    scenario_with_times,
+    worst_case_scenario,
+)
+from repro.faults.model import FaultScenario
+from repro.faults.scenarios import (
+    count_scenarios,
+    enumerate_scenarios,
+    sample_scenario,
+    sample_scenarios,
+)
+
+__all__ = [
+    "ExecutionScenario",
+    "FaultScenario",
+    "ScenarioSampler",
+    "average_case_scenario",
+    "best_case_scenario",
+    "count_scenarios",
+    "enumerate_scenarios",
+    "sample_scenario",
+    "sample_scenarios",
+    "scenario_with_times",
+    "worst_case_scenario",
+]

@@ -1,0 +1,84 @@
+"""Transient fault model (paper §2.2).
+
+The fault hypothesis is: at most ``k`` transient faults strike within
+one operation cycle of the application.  A fault is detected by the
+(software) error-detection mechanism at the *end* of the affected
+execution — the time already spent is lost, and restarting costs the
+recovery overhead µ before the process runs again.
+
+A :class:`FaultScenario` names which executions fail: it maps a process
+name to the number of consecutive failed attempts.  The scenario is
+independent of any particular schedule, so the same scenario can be
+replayed against FTSS, FTSF and FTQS schedules for a fair comparison
+(this is how the paper's simulations compare the three approaches on
+identical execution scenarios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """An assignment of transient faults to process executions.
+
+    Attributes
+    ----------
+    hits:
+        Map from process name to the number of *failed attempts* of
+        that process in this cycle.  An entry ``("P1", 2)`` means the
+        first two executions of P1 fail and the third (if attempted)
+        succeeds.
+    """
+
+    hits: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def of(mapping: Mapping[str, int] = None, **kwargs: int) -> "FaultScenario":
+        """Build a scenario from a dict and/or keyword arguments."""
+        combined: Dict[str, int] = dict(mapping or {})
+        combined.update(kwargs)
+        for name, count in combined.items():
+            if count <= 0:
+                raise ModelError(
+                    f"fault count for {name!r} must be positive, got {count}"
+                )
+        items = tuple(sorted(combined.items()))
+        return FaultScenario(hits=items)
+
+    @staticmethod
+    def none() -> "FaultScenario":
+        """The (most likely) no-fault scenario."""
+        return FaultScenario()
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.hits)
+
+    @property
+    def total_faults(self) -> int:
+        """Total number of faults in the scenario."""
+        return sum(count for _, count in self.hits)
+
+    def failures_of(self, name: str) -> int:
+        """Number of failed attempts of process ``name``."""
+        return self.as_dict().get(name, 0)
+
+    def within_budget(self, k: int) -> bool:
+        """True when the scenario respects the fault hypothesis."""
+        return self.total_faults <= k
+
+    def restrict_to(self, names: Iterable[str]) -> "FaultScenario":
+        """Scenario restricted to the given process names."""
+        keep = set(names)
+        return FaultScenario(
+            hits=tuple((n, c) for n, c in self.hits if n in keep)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.hits:
+            return "no-fault"
+        return ",".join(f"{n}x{c}" for n, c in self.hits)

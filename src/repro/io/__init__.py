@@ -1,0 +1,30 @@
+"""Persistence: JSON encoding and embedded C table export."""
+
+from repro.io.c_export import export_tree_to_c, write_c_tables
+from repro.io.json_io import (
+    application_from_dict,
+    application_to_dict,
+    load_json,
+    process_from_dict,
+    process_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+__all__ = [
+    "application_from_dict",
+    "application_to_dict",
+    "export_tree_to_c",
+    "write_c_tables",
+    "load_json",
+    "process_from_dict",
+    "process_to_dict",
+    "save_json",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "tree_from_dict",
+    "tree_to_dict",
+]

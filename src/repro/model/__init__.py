@@ -1,0 +1,32 @@
+"""Application model: processes, graphs, applications, hyper-periods."""
+
+from repro.model.application import Application, application_from_graphs
+from repro.model.graph import ProcessGraph
+from repro.model.hypergraph import (
+    ShiftedUtility,
+    hyperperiod,
+    instance_name,
+    merge_hyperperiod,
+)
+from repro.model.process import (
+    Process,
+    ProcessKind,
+    hard_process,
+    soft_process,
+)
+from repro.model.validation import validate_application
+
+__all__ = [
+    "Application",
+    "Process",
+    "ProcessGraph",
+    "ProcessKind",
+    "ShiftedUtility",
+    "application_from_graphs",
+    "hard_process",
+    "hyperperiod",
+    "instance_name",
+    "merge_hyperperiod",
+    "soft_process",
+    "validate_application",
+]

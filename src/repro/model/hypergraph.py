@@ -1,0 +1,169 @@
+"""Hyper-period merging of multi-rate process graphs (paper §2).
+
+When an application contains process graphs with different periods,
+all activations within the hyper-period (the LCM of the periods) are
+instantiated as separate processes and combined into one graph.  An
+activation ``j`` of graph ``G`` with period ``T_G`` is released at
+``j * T_G``; we encode the release by chaining each instance's sources
+behind the previous instance's sinks (instance ``j+1`` of a graph
+cannot start before instance ``j`` finished), which preserves the
+non-preemptive single-node semantics the paper assumes, and by
+shifting hard deadlines of instance ``j`` by ``j * T_G``.
+
+Soft utility functions of later instances are shifted in time the same
+way via :class:`ShiftedUtility`, so a process completing at absolute
+time ``t`` inside the hyper-period earns the utility its original
+function assigns to the time since its release.
+
+Modelling note: instance ordering is enforced purely through the
+chaining precedence edges — exact release *offsets* (instance ``j``
+not starting before ``j * T_G``) are not modelled, consistent with the
+paper's self-triggered, non-preemptive execution where the schedule
+never idles.  An instance may therefore start early when the machine
+is free; its deadline and utility remain anchored to the nominal
+release.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ModelError, TimingError
+from repro.model.graph import ProcessGraph
+from repro.utility.functions import UtilityFunction
+
+
+class ShiftedUtility(UtilityFunction):
+    """``U(t - shift)`` clamped so times before the release earn the max.
+
+    Wraps the utility function of a process instance released at
+    ``shift`` ticks into the hyper-period.
+    """
+
+    def __init__(self, base: UtilityFunction, shift: int):
+        if shift < 0:
+            raise TimingError("utility shift must be non-negative")
+        self._base = base
+        self._shift = int(shift)
+
+    @property
+    def base(self) -> UtilityFunction:
+        return self._base
+
+    @property
+    def shift(self) -> int:
+        return self._shift
+
+    def value_at(self, t: int) -> float:
+        return self._base.value_at(max(0, t - self._shift))
+
+    def max_value(self) -> float:
+        return self._base.max_value()
+
+    def horizon(self) -> int:
+        return self._base.horizon() + self._shift
+
+    def breakpoints(self) -> List[int]:
+        return [t + self._shift for t in self._base.breakpoints()]
+
+    def is_piecewise_constant(self) -> bool:
+        return self._base.is_piecewise_constant()
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "shifted",
+            "shift": self._shift,
+            "base": self._base.to_dict(),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShiftedUtility)
+            and self._shift == other._shift
+            and self._base == other._base
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._shift, self._base))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShiftedUtility({self._base!r}, shift={self._shift})"
+
+
+def hyperperiod(periods: Sequence[int]) -> int:
+    """Least common multiple of the graph periods."""
+    if not periods:
+        raise ModelError("no periods given")
+    result = 1
+    for period in periods:
+        if period <= 0:
+            raise TimingError(f"period must be positive, got {period}")
+        result = result * period // math.gcd(result, period)
+    return result
+
+
+def instance_name(process_name: str, instance: int) -> str:
+    """Canonical name of activation ``instance`` of a process."""
+    return f"{process_name}#{instance}"
+
+
+def merge_hyperperiod(
+    graphs: Sequence[ProcessGraph],
+) -> Tuple[ProcessGraph, int]:
+    """Merge multi-rate graphs into one hyper-period graph.
+
+    Returns the merged graph and the hyper-period.  Process names are
+    suffixed ``#j`` with the activation index ``j`` (0-based), even for
+    graphs with a single activation, so the origin of every node stays
+    recognizable.
+    """
+    if not graphs:
+        raise ModelError("no graphs to merge")
+    names = [g.name for g in graphs]
+    if len(set(names)) != len(names):
+        raise ModelError(f"graph names must be unique, got {names}")
+    periods = []
+    for graph in graphs:
+        if graph.period is None:
+            raise TimingError(f"graph {graph.name!r} has no period")
+        periods.append(graph.period)
+    hyper = hyperperiod(periods)
+
+    merged_procs = []
+    merged_edges: List[Tuple[str, str]] = []
+    for graph in graphs:
+        instances = hyper // graph.period
+        prev_sinks: List[str] = []
+        for j in range(instances):
+            release = j * graph.period
+            mapping = {n: instance_name(n, j) for n in graph.process_names}
+            for proc in graph.processes:
+                new_proc = replace(proc, name=mapping[proc.name])
+                if proc.is_hard:
+                    new_proc = replace(
+                        new_proc, deadline=proc.deadline + release
+                    )
+                elif release > 0:
+                    new_proc = replace(
+                        new_proc,
+                        utility=ShiftedUtility(proc.utility, release),
+                    )
+                merged_procs.append(new_proc)
+            merged_edges.extend(
+                (mapping[s], mapping[d]) for s, d in graph.edges
+            )
+            sources = [mapping[n] for n in graph.sources()]
+            merged_edges.extend(
+                (sink, source) for sink in prev_sinks for source in sources
+            )
+            prev_sinks = [mapping[n] for n in graph.sinks()]
+
+    merged = ProcessGraph(
+        merged_procs,
+        merged_edges,
+        name="+".join(names),
+        period=hyper,
+    )
+    return merged, hyper

@@ -1,0 +1,76 @@
+"""Whole-application consistency checks.
+
+:func:`validate_application` runs a battery of structural and timing
+checks beyond what the individual dataclasses enforce, and raises the
+most specific :mod:`repro.errors` subclass on the first violation.
+These checks are deliberately strict: the scheduling heuristics assume
+them, and a clear early error beats a silent mis-schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import GraphError, ModelError, TimingError
+from repro.model.application import Application
+
+
+def validate_application(app: Application) -> None:
+    """Validate ``app``; raises a :class:`repro.errors.ModelError` subclass.
+
+    Checks performed:
+
+    1. every process appears in the dependency maps (graph integrity);
+    2. the graph is acyclic (already enforced; re-verified cheaply);
+    3. hard deadlines fit inside the period;
+    4. every hard process can *individually* meet its deadline under
+       the k-fault worst case even if it runs alone after its
+       worst-case critical path — a necessary condition for
+       schedulability that catches hopeless inputs before the heuristics
+       spend time on them;
+    5. utility horizons are finite sanity bounds (≤ 100 × period).
+    """
+    graph = app.graph
+    order = graph.topological_order()
+    if sorted(order) != sorted(graph.process_names):
+        raise GraphError("topological order does not cover all processes")
+
+    for proc in app.processes:
+        if proc.is_hard:
+            if proc.deadline > app.period:
+                raise TimingError(
+                    f"{proc.name}: deadline {proc.deadline} exceeds period "
+                    f"{app.period}"
+                )
+            _check_critical_path(app, proc.name)
+        else:
+            horizon = proc.utility.horizon()
+            if horizon > 100 * app.period:
+                raise ModelError(
+                    f"{proc.name}: utility horizon {horizon} is implausibly "
+                    f"far beyond the period {app.period}"
+                )
+
+
+def _check_critical_path(app: Application, name: str) -> None:
+    """Necessary condition: hard chain into ``name`` fits its deadline.
+
+    The mandatory work before ``name`` completes is at least the sum of
+    WCETs of its *hard* ancestors plus its own WCET, plus the worst
+    shared recovery demand among those processes.  If that already
+    exceeds the deadline, no schedule can help.
+    """
+    graph = app.graph
+    hard_chain: List[str] = [
+        a for a in graph.ancestors(name) if graph[a].is_hard
+    ]
+    hard_chain.append(name)
+    total = sum(graph[p].wcet for p in hard_chain)
+    if app.k > 0:
+        total += app.k * max(app.recovery_need(p) for p in hard_chain)
+    deadline = graph[name].deadline
+    if total > deadline:
+        raise TimingError(
+            f"{name}: hard ancestor chain needs {total} ticks in the "
+            f"k={app.k} worst case but the deadline is {deadline}"
+        )

@@ -1,0 +1,246 @@
+"""The fault-tolerant quasi-static tree Φ (paper §3, Fig. 5).
+
+The tree's nodes are f-schedules; its arcs are *schedule switches*,
+annotated with the condition under which the online scheduler performs
+them: "if process P_i completes in the interval [lo, hi] (and at least
+``required_faults`` faults have been observed), switch to the child
+schedule".  The completion-time intervals come from interval
+partitioning (:mod:`repro.quasistatic.intervals`); the fault condition
+realizes the fault-specific schedule groups of Fig. 5 — a child
+generated under the assumption that ``f`` faults already happened
+reserves recovery slack for only ``k - f`` more, so the switch is safe
+only once at least ``f`` faults have indeed been observed.
+
+Children contain only the *tail* of the execution: a child switched-to
+after P_i lists the processes scheduled from that point on; the prefix
+(recorded in the child schedule's ``prior_completed``) already ran
+under the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.errors import SchedulingError
+from repro.scheduling.fschedule import FSchedule
+
+
+@dataclass(frozen=True)
+class SwitchArc:
+    """A conditional schedule switch (an arc of the quasi-static tree).
+
+    Attributes
+    ----------
+    process:
+        The process whose completion triggers the evaluation of this
+        arc (completion *after* any re-executions).
+    lo, hi:
+        Inclusive completion-time interval in which switching is both
+        beneficial for the expected utility and safe for the hard
+        deadlines (``hi`` is capped by the latest safe switch time
+        t_ic of §5.1).
+    required_faults:
+        Minimum number of faults that must have been observed for the
+        switch to be safe; the target schedule only reserves recovery
+        slack for ``k - required_faults`` further faults.
+    target:
+        Node id of the child schedule.
+    """
+
+    process: str
+    lo: int
+    hi: int
+    required_faults: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise SchedulingError(
+                f"empty switch interval [{self.lo}, {self.hi}]"
+            )
+        if self.required_faults < 0:
+            raise SchedulingError("required_faults must be non-negative")
+
+    def matches(self, completion_time: int, observed_faults: int) -> bool:
+        """True when the observed situation satisfies the condition."""
+        return (
+            self.lo <= completion_time <= self.hi
+            and observed_faults >= self.required_faults
+        )
+
+
+@dataclass
+class QSNode:
+    """One node of the quasi-static tree: an f-schedule plus metadata."""
+
+    node_id: int
+    schedule: FSchedule
+    parent_id: Optional[int] = None
+    layer: int = 0
+    switch_process: Optional[str] = None
+    assumed_faults: int = 0
+    expanded: bool = False
+    arcs: List[SwitchArc] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    def arcs_for(self, process: str) -> List[SwitchArc]:
+        """Arcs evaluated when ``process`` completes."""
+        return [a for a in self.arcs if a.process == process]
+
+
+class QSTree:
+    """The quasi-static tree Φ: nodes, arcs and bookkeeping for FTQS."""
+
+    def __init__(self, root_schedule: FSchedule):
+        self._nodes: Dict[int, QSNode] = {}
+        self._next_id = 0
+        self.root_id = self._add(
+            QSNode(node_id=0, schedule=root_schedule, layer=0)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _add(self, node: QSNode) -> int:
+        if node.node_id != self._next_id:
+            raise SchedulingError("node ids must be assigned by the tree")
+        self._nodes[node.node_id] = node
+        self._next_id += 1
+        return node.node_id
+
+    def add_child(
+        self,
+        parent_id: int,
+        schedule: FSchedule,
+        switch_process: str,
+        assumed_faults: int,
+        layer: int,
+    ) -> QSNode:
+        """Attach a sub-schedule below ``parent_id`` (arcs added later).
+
+        The switch *condition* is attached separately once interval
+        partitioning has run; a child without any arc is unreachable
+        and pruned by :meth:`prune_unreachable`.
+        """
+        parent = self.node(parent_id)
+        if switch_process not in parent.schedule:
+            raise SchedulingError(
+                f"switch process {switch_process!r} not in parent schedule"
+            )
+        node = QSNode(
+            node_id=self._next_id,
+            schedule=schedule,
+            parent_id=parent_id,
+            layer=layer,
+            switch_process=switch_process,
+            assumed_faults=assumed_faults,
+        )
+        self._add(node)
+        return node
+
+    def add_arc(self, parent_id: int, arc: SwitchArc) -> None:
+        if arc.target not in self._nodes:
+            raise SchedulingError(f"arc targets unknown node {arc.target}")
+        self.node(parent_id).arcs.append(arc)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> QSNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SchedulingError(f"unknown node id {node_id}") from None
+
+    @property
+    def root(self) -> QSNode:
+        return self.node(self.root_id)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[QSNode]:
+        return iter(self._nodes.values())
+
+    def nodes(self) -> List[QSNode]:
+        return list(self._nodes.values())
+
+    def children(self, node_id: int) -> List[QSNode]:
+        return [n for n in self._nodes.values() if n.parent_id == node_id]
+
+    def different_schedules(self) -> int:
+        """Number of *distinct* schedules in the tree (FTQS line 3).
+
+        Distinctness is judged by the schedule signature (order and
+        re-execution caps), matching the paper's intent of counting
+        genuinely different scheduling alternatives, not tree nodes.
+        """
+        return len({n.schedule.signature() for n in self._nodes.values()})
+
+    def depth(self) -> int:
+        """Longest root-to-leaf distance (in switches)."""
+        depths = {self.root_id: 0}
+        frontier = [self.root_id]
+        best = 0
+        while frontier:
+            nid = frontier.pop()
+            for child in self.children(nid):
+                depths[child.node_id] = depths[nid] + 1
+                best = max(best, depths[child.node_id])
+                frontier.append(child.node_id)
+        return best
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def prune_unreachable(self) -> int:
+        """Remove nodes no arc points to; returns the number removed.
+
+        Interval partitioning may find that switching to a generated
+        sub-schedule is never beneficial (or never safe); such nodes
+        would only waste the memory the paper's M budget is there to
+        protect.
+        """
+        reachable: Set[int] = {self.root_id}
+        frontier = [self.root_id]
+        while frontier:
+            nid = frontier.pop()
+            for arc in self.node(nid).arcs:
+                if arc.target not in reachable:
+                    reachable.add(arc.target)
+                    frontier.append(arc.target)
+        doomed = [nid for nid in self._nodes if nid not in reachable]
+        for nid in doomed:
+            del self._nodes[nid]
+        for node in self._nodes.values():
+            node.arcs = [a for a in node.arcs if a.target in reachable]
+        return len(doomed)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises on violation."""
+        for node in self._nodes.values():
+            if node.parent_id is not None and node.parent_id not in self._nodes:
+                raise SchedulingError(
+                    f"node {node.node_id} has unknown parent {node.parent_id}"
+                )
+            for arc in node.arcs:
+                if arc.target not in self._nodes:
+                    raise SchedulingError(
+                        f"node {node.node_id} arc targets missing node "
+                        f"{arc.target}"
+                    )
+                if arc.process not in node.schedule:
+                    raise SchedulingError(
+                        f"node {node.node_id} arc keyed on {arc.process!r} "
+                        f"which its schedule does not contain"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QSTree(nodes={len(self)}, distinct="
+            f"{self.different_schedules()}, depth={self.depth()})"
+        )

@@ -1,0 +1,15 @@
+"""Runtime substrate: online scheduler, traces, re-planning comparator."""
+
+from repro.runtime.online import OnlineScheduler, simulate
+from repro.runtime.replanner import ReplanningResult, run_replanning
+from repro.runtime.trace import EventKind, ExecutionResult, TraceEvent
+
+__all__ = [
+    "EventKind",
+    "ExecutionResult",
+    "OnlineScheduler",
+    "ReplanningResult",
+    "TraceEvent",
+    "run_replanning",
+    "simulate",
+]

@@ -1,0 +1,317 @@
+"""The online scheduler executing a quasi-static tree (paper §1, §3).
+
+At run time the scheduler is deliberately lightweight: it walks the
+active f-schedule in order, starts each process as soon as the
+previous one finishes (self-triggered, non-preemptive, single node),
+and at every process completion scans the current tree node's arcs for
+that process — a handful of integer comparisons — to decide whether to
+switch to a better precalculated schedule.  Faults are handled with
+the recovery slack of the active schedule: hard processes are always
+re-executed; soft processes are re-executed only when the allotment
+permits it, the re-execution cannot endanger any hard deadline from
+the current state, and it is expected to be beneficial — otherwise the
+process is dropped (paper §2.2).
+
+The same engine executes purely static schedules (FTSS, FTSF): a
+static schedule is just a tree with a single node and no arcs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Union
+
+from repro.errors import RuntimeModelError
+from repro.faults.injection import ExecutionScenario
+from repro.model.application import Application
+from repro.quasistatic.tree import QSNode, QSTree, SwitchArc
+from repro.runtime.trace import EventKind, ExecutionResult, TraceEvent
+from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+from repro.utility.stale import stale_coefficients
+
+
+class OnlineScheduler:
+    """Quasi-static online scheduler over a tree (or a single schedule).
+
+    Parameters
+    ----------
+    app:
+        The application being executed.
+    plan:
+        Either a :class:`QSTree` (quasi-static operation) or a single
+        :class:`FSchedule` (static operation).
+    record_events:
+        Keep the full event trace in the result (disable for big
+        Monte-Carlo runs to save memory).
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        plan: Union[QSTree, FSchedule],
+        record_events: bool = True,
+    ):
+        self.app = app
+        if isinstance(plan, FSchedule):
+            self.tree = QSTree(plan)
+        elif isinstance(plan, QSTree):
+            self.tree = plan
+        else:
+            raise RuntimeModelError(
+                f"plan must be a QSTree or FSchedule, got {type(plan)!r}"
+            )
+        self.record_events = record_events
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def run(self, scenario: ExecutionScenario) -> ExecutionResult:
+        """Execute one operation cycle under ``scenario``."""
+        app = self.app
+        node = self.tree.root
+        schedule = node.schedule
+        position = 0
+        clock = 0
+        observed_faults = 0
+        completed: Dict[str, int] = {}
+        # Runtime drops (after faults) only; processes a schedule plans
+        # not to run are implicitly dropped at finalization — a later
+        # switch may still re-introduce them.
+        dropped: Set[str] = set()
+        switches: List[int] = []
+        events: List[TraceEvent] = []
+
+        def emit(time: int, kind: EventKind, process: Optional[str], detail: int = 0):
+            if self.record_events:
+                events.append(TraceEvent(time, kind, process, detail))
+
+        while position < len(schedule.entries):
+            entry = schedule.entries[position]
+            name = entry.name
+            attempt = 0
+            completion: Optional[int] = None
+            while True:
+                if attempt > 0:
+                    mu = app.recovery_overhead(name)
+                    emit(clock, EventKind.RECOVERY, name, attempt)
+                    clock += mu
+                emit(clock, EventKind.START, name, attempt)
+                clock += scenario.duration_of(name, attempt)
+                if scenario.fails(name, attempt):
+                    observed_faults += 1
+                    emit(clock, EventKind.FAULT, name, attempt)
+                    if self._should_reexecute(
+                        schedule,
+                        position,
+                        attempt,
+                        clock,
+                        observed_faults,
+                        completed,
+                        dropped,
+                    ):
+                        attempt += 1
+                        continue
+                    dropped.add(name)
+                    emit(clock, EventKind.DROP, name, attempt)
+                    break
+                completion = clock
+                completed[name] = completion
+                emit(clock, EventKind.COMPLETE, name, attempt)
+                break
+
+            if completion is not None:
+                arc = self._matching_arc(node, name, completion, observed_faults)
+                if arc is not None:
+                    node = self.tree.node(arc.target)
+                    schedule = node.schedule
+                    position = 0
+                    switches.append(node.node_id)
+                    emit(completion, EventKind.SWITCH, name, node.node_id)
+                    continue
+            position += 1
+
+        return self._finalize(
+            completed, dropped, observed_faults, switches, clock, events
+        )
+
+    # ------------------------------------------------------------------
+    # Decision helpers
+    # ------------------------------------------------------------------
+    def _matching_arc(
+        self,
+        node: QSNode,
+        process: str,
+        completion_time: int,
+        observed_faults: int,
+    ) -> Optional[SwitchArc]:
+        """The arc to follow after ``process`` completed, if any.
+
+        Among matching arcs the most fault-specific one wins (highest
+        ``required_faults``) — it was generated with the tightest
+        assumptions about the remaining fault budget; ties break by
+        target id for determinism.
+        """
+        matching = [
+            a
+            for a in node.arcs_for(process)
+            if a.matches(completion_time, observed_faults)
+        ]
+        if not matching:
+            return None
+        return min(matching, key=lambda a: (-a.required_faults, a.target))
+
+    def _should_reexecute(
+        self,
+        schedule: FSchedule,
+        position: int,
+        attempt: int,
+        clock: int,
+        observed_faults: int,
+        completed: Dict[str, int],
+        dropped: Set[str],
+    ) -> bool:
+        """Decide whether the faulted attempt is retried (paper §2.2).
+
+        Hard processes always re-execute.  A soft process re-executes
+        when (a) its static allotment permits another attempt, (b) the
+        re-execution keeps every remaining hard process schedulable
+        from the current instant under the remaining fault budget, and
+        (c) the expected utility with re-execution beats dropping.
+        """
+        app = self.app
+        entry = schedule.entries[position]
+        proc = app.process(entry.name)
+        if proc.is_hard:
+            return True
+        if attempt >= entry.reexecutions:
+            return False
+        remaining_budget = max(0, app.k - observed_faults)
+        restart = clock + app.recovery_overhead(entry.name)
+
+        # (b) safety: re-execution first, then the rest of the active
+        # schedule, analysed from `restart` with the remaining budget.
+        remaining_entries = [
+            ScheduledEntry(
+                entry.name, min(entry.reexecutions - attempt - 1, remaining_budget)
+            )
+        ]
+        for later in schedule.entries[position + 1 :]:
+            cap = (
+                remaining_budget
+                if app.process(later.name).is_hard
+                else min(later.reexecutions, remaining_budget)
+            )
+            remaining_entries.append(ScheduledEntry(later.name, cap))
+        probe = FSchedule(
+            app,
+            remaining_entries,
+            start_time=restart,
+            fault_budget=remaining_budget,
+            prior_completed=frozenset(completed),
+            prior_dropped=frozenset(dropped),
+            slack_sharing=schedule.slack_sharing,
+        )
+        if not probe.is_schedulable():
+            return False
+
+        # (c) benefit: conditional on this fault, compare expected
+        # utility of re-executing vs dropping (tail at AET).
+        return self._reexecution_beneficial(
+            schedule, position, restart, clock, completed, dropped
+        )
+
+    def _reexecution_beneficial(
+        self,
+        schedule: FSchedule,
+        position: int,
+        restart: int,
+        drop_time: int,
+        completed: Dict[str, int],
+        dropped: Set[str],
+    ) -> bool:
+        app = self.app
+        graph = app.graph
+        entry = schedule.entries[position]
+        proc = app.process(entry.name)
+
+        tail = schedule.entries[position + 1 :]
+
+        keep_alphas = stale_coefficients(graph, dropped | schedule.all_dropped)
+        keep_clock = restart + proc.aet
+        keep_utility = 0.0
+        if keep_clock <= app.period:
+            keep_utility = keep_alphas[entry.name] * proc.utility_at(keep_clock)
+        for later in tail:
+            later_proc = app.process(later.name)
+            keep_clock += later_proc.aet
+            if later_proc.is_soft and keep_clock <= app.period:
+                keep_utility += keep_alphas[later.name] * later_proc.utility_at(
+                    keep_clock
+                )
+
+        drop_alphas = stale_coefficients(
+            graph, dropped | schedule.all_dropped | {entry.name}
+        )
+        drop_clock = drop_time
+        drop_utility = 0.0
+        for later in tail:
+            later_proc = app.process(later.name)
+            drop_clock += later_proc.aet
+            if later_proc.is_soft and drop_clock <= app.period:
+                drop_utility += drop_alphas[later.name] * later_proc.utility_at(
+                    drop_clock
+                )
+        return keep_utility > drop_utility
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        completed: Dict[str, int],
+        dropped: Set[str],
+        observed_faults: int,
+        switches: List[int],
+        clock: int,
+        events: List[TraceEvent],
+    ) -> ExecutionResult:
+        app = self.app
+        graph = app.graph
+        # Soft processes neither completed nor explicitly dropped were
+        # dropped implicitly (never part of any active schedule).
+        for proc in app.soft:
+            if proc.name not in completed:
+                dropped.add(proc.name)
+        alphas = stale_coefficients(graph, dropped)
+        utility = 0.0
+        for name, time in completed.items():
+            proc = graph[name]
+            if proc.is_soft and time <= app.period:
+                utility += alphas[name] * proc.utility_at(time)
+        hard_misses = tuple(
+            sorted(
+                p.name
+                for p in app.hard
+                if p.name not in completed
+                or completed[p.name] > p.deadline
+            )
+        )
+        return ExecutionResult(
+            completion_times=completed,
+            dropped=frozenset(dropped),
+            utility=utility,
+            hard_misses=hard_misses,
+            faults_observed=observed_faults,
+            switches=tuple(switches),
+            makespan=clock,
+            events=events,
+        )
+
+
+def simulate(
+    app: Application,
+    plan: Union[QSTree, FSchedule],
+    scenario: ExecutionScenario,
+    record_events: bool = True,
+) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`OnlineScheduler`."""
+    return OnlineScheduler(app, plan, record_events=record_events).run(scenario)

@@ -1,0 +1,113 @@
+"""Execution traces and results of simulated operation cycles.
+
+The online scheduler emits one :class:`TraceEvent` per interesting
+occurrence (start, fault, recovery, completion, drop, schedule switch),
+so tests can assert fine-grained behaviour (e.g. "the scheduler
+switched to S_2^1 because P_1 completed at 30") and the analysis tools
+can render Gantt charts of particular runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import RuntimeModelError
+
+
+class EventKind(Enum):
+    """What happened at a trace point."""
+
+    START = "start"
+    FAULT = "fault"
+    RECOVERY = "recovery"
+    COMPLETE = "complete"
+    DROP = "drop"
+    SWITCH = "switch"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence during a simulated cycle.
+
+    ``detail`` carries kind-specific context: the attempt number for
+    executions and faults, the target node id for switches.
+    """
+
+    time: int
+    kind: EventKind
+    process: Optional[str] = None
+    detail: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        subject = self.process if self.process is not None else ""
+        return f"[{self.time:>6}] {self.kind.value:<8} {subject} ({self.detail})"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated operation cycle.
+
+    Attributes
+    ----------
+    completion_times:
+        Final completion time of every successfully completed process.
+    dropped:
+        Soft processes that did not run (statically excluded or dropped
+        online after a fault).
+    utility:
+        Overall utility U = Σ α_i · U_i(c_i) of the cycle, with stale
+        degradation and the period cutoff applied.
+    hard_misses:
+        Hard processes that completed after their deadline (must be
+        empty whenever the schedule synthesis declared the application
+        schedulable — asserted by the property tests).
+    faults_observed:
+        Number of faults that actually struck during the cycle.
+    switches:
+        Node ids of the schedules activated by quasi-static switches,
+        in order (empty for purely static execution).
+    makespan:
+        Completion time of the last executed process.
+    events:
+        Full event trace.
+    """
+
+    completion_times: Dict[str, int] = field(default_factory=dict)
+    dropped: FrozenSet[str] = frozenset()
+    utility: float = 0.0
+    hard_misses: Tuple[str, ...] = ()
+    faults_observed: int = 0
+    switches: Tuple[int, ...] = ()
+    makespan: int = 0
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def met_all_hard_deadlines(self) -> bool:
+        return not self.hard_misses
+
+    def completed(self, name: str) -> bool:
+        return name in self.completion_times
+
+    def completion_of(self, name: str) -> int:
+        try:
+            return self.completion_times[name]
+        except KeyError:
+            raise RuntimeModelError(
+                f"process {name!r} did not complete in this cycle"
+            ) from None
+
+    def events_of_kind(self, kind: EventKind) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.met_all_hard_deadlines else "DEADLINE MISS"
+        return (
+            f"ExecutionResult(utility={self.utility:.1f}, "
+            f"faults={self.faults_observed}, switches={len(self.switches)}, "
+            f"makespan={self.makespan}, {status})"
+        )

@@ -1,0 +1,220 @@
+"""The dropping heuristic of FTSS (paper §5.2, lines 3 and 5-9).
+
+Deciding exactly whether a soft process should be dropped would require
+exploring all dropping combinations of the remaining processes; the
+paper replaces this with a local comparison: for each candidate soft
+process P_i, build two hypothetical schedules of the *unscheduled soft
+processes only* — S_i' containing P_i and S_i'' without it (its
+consumers then read a stale value) — and drop P_i when
+U(S_i') ≤ U(S_i'').
+
+The hypothetical schedules order processes greedily by the MU priority
+(recomputed after each pick, since completing one soft process shifts
+the completion times of the rest) and are evaluated with average-case
+execution times starting from the current schedule time, matching the
+worked example of Fig. 8 (S_2' earning 80 vs S_2'' earning 50, so P_2
+is kept).
+
+``ForcedDropping`` (lines 5-9) reuses the same machinery: when no ready
+process leads to a schedulable solution, the soft ready process whose
+removal costs the least utility is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.model.application import Application
+from repro.scheduling.priority import soft_priorities
+from repro.utility.stale import stale_coefficients
+
+
+def greedy_soft_order(
+    app: Application,
+    candidates: Iterable[str],
+    now: int,
+    dropped: Iterable[str],
+) -> List[str]:
+    """Order ``candidates`` greedily by MU priority, honouring precedence.
+
+    Only precedence *among the candidates* matters: every other
+    predecessor is either already scheduled or dropped (stale input),
+    so it does not block activation.
+    """
+    graph = app.graph
+    remaining: Set[str] = set(candidates)
+    dropped_set = set(dropped)
+    alphas = stale_coefficients(graph, dropped_set)
+    order: List[str] = []
+    clock = now
+    while remaining:
+        ready = [
+            n
+            for n in remaining
+            if not any(p in remaining for p in graph.predecessors(n))
+        ]
+        if not ready:
+            # Candidates form a cycle-free graph, so this cannot happen
+            # unless a candidate's predecessor set was mis-specified.
+            ready = sorted(remaining)
+        priorities = soft_priorities(
+            app, ready, clock, dropped_set, alphas=alphas
+        )
+        pick = max(sorted(ready), key=lambda n: priorities.get(n, 0.0))
+        order.append(pick)
+        remaining.remove(pick)
+        clock += graph[pick].aet
+    return order
+
+
+def hypothetical_utility(
+    app: Application,
+    soft_order: Sequence[str],
+    now: int,
+    dropped: Iterable[str],
+) -> float:
+    """Utility of executing ``soft_order`` back-to-back from ``now``.
+
+    All unscheduled soft processes not in ``soft_order`` are treated as
+    dropped; completions beyond the period earn nothing.
+    """
+    graph = app.graph
+    executed = set(soft_order)
+    dropped_all = set(dropped)
+    for proc in graph.soft_processes():
+        if proc.name not in executed and proc.name not in dropped_all:
+            dropped_all.add(proc.name)
+    alphas = stale_coefficients(graph, dropped_all)
+    clock = now
+    total = 0.0
+    for name in soft_order:
+        clock += graph[name].aet
+        if clock > app.period:
+            continue
+        total += alphas[name] * graph[name].utility_at(clock)
+    return total
+
+
+def dropping_gain(
+    app: Application,
+    candidate: str,
+    unscheduled_soft: Iterable[str],
+    now: int,
+    dropped: Iterable[str],
+) -> Tuple[float, float]:
+    """Utilities (U(S'), U(S'')) of keeping vs dropping ``candidate``.
+
+    ``unscheduled_soft`` are all not-yet-scheduled, not-yet-dropped soft
+    processes (including ``candidate``).  ``S'`` schedules all of them,
+    ``S''`` schedules all but ``candidate`` with ``candidate`` dropped.
+    """
+    pool = [n for n in unscheduled_soft]
+    if candidate not in pool:
+        raise ValueError(f"{candidate!r} not among the unscheduled soft set")
+    keep_order = greedy_soft_order(app, pool, now, dropped)
+    keep_utility = hypothetical_utility(app, keep_order, now, dropped)
+    rest = [n for n in pool if n != candidate]
+    drop_set = set(dropped) | {candidate}
+    drop_order = greedy_soft_order(app, rest, now, drop_set)
+    drop_utility = hypothetical_utility(app, drop_order, now, drop_set)
+    return keep_utility, drop_utility
+
+
+def determine_dropping(
+    app: Application,
+    ready: Sequence[str],
+    unscheduled_soft: Sequence[str],
+    now: int,
+    dropped: Iterable[str],
+) -> List[str]:
+    """FTSS line 3: soft ready processes whose dropping is beneficial.
+
+    Returns the subset of ``ready`` to drop (possibly empty).  The
+    comparison for each candidate uses the current dropped set only —
+    candidates are evaluated independently, as in the paper, which
+    avoids the combinatorial explosion of joint dropping decisions.
+    """
+    to_drop: List[str] = []
+    for name in ready:
+        if not app.process(name).is_soft:
+            continue
+        keep_u, drop_u = dropping_gain(
+            app, name, unscheduled_soft, now, dropped
+        )
+        if keep_u <= drop_u:
+            to_drop.append(name)
+    return to_drop
+
+
+def determine_dropping_fast(
+    app: Application,
+    ready: Sequence[str],
+    unscheduled_soft: Sequence[str],
+    now: int,
+    dropped: Iterable[str],
+) -> List[str]:
+    """O(s²) variant of :func:`determine_dropping`.
+
+    Builds the greedy keep-order of the full unscheduled soft pool
+    *once*, then scores each candidate by removing it from that order
+    (instead of re-running the greedy construction per candidate).
+    The orders only differ when removing the candidate would reshuffle
+    the greedy choices — a second-order effect; the ablation tests
+    compare both variants.
+    """
+    keep_order = greedy_soft_order(app, unscheduled_soft, now, dropped)
+    keep_utility = hypothetical_utility(app, keep_order, now, dropped)
+    to_drop: List[str] = []
+    for name in ready:
+        if not app.process(name).is_soft:
+            continue
+        rest = [n for n in keep_order if n != name]
+        drop_set = set(dropped) | {name}
+        drop_utility = hypothetical_utility(app, rest, now, drop_set)
+        if keep_utility <= drop_utility:
+            to_drop.append(name)
+    return to_drop
+
+
+def forced_dropping_choice_fast(
+    app: Application,
+    ready_soft: Sequence[str],
+    unscheduled_soft: Sequence[str],
+    now: int,
+    dropped: Iterable[str],
+) -> Optional[str]:
+    """Removal-scored variant of :func:`forced_dropping_choice`."""
+    if not ready_soft:
+        return None
+    keep_order = greedy_soft_order(app, unscheduled_soft, now, dropped)
+    keep_utility = hypothetical_utility(app, keep_order, now, dropped)
+    losses: Dict[str, float] = {}
+    for name in ready_soft:
+        rest = [n for n in keep_order if n != name]
+        drop_set = set(dropped) | {name}
+        drop_utility = hypothetical_utility(app, rest, now, drop_set)
+        losses[name] = keep_utility - drop_utility
+    return min(sorted(losses), key=lambda n: losses[n])
+
+
+def forced_dropping_choice(
+    app: Application,
+    ready_soft: Sequence[str],
+    unscheduled_soft: Sequence[str],
+    now: int,
+    dropped: Iterable[str],
+) -> Optional[str]:
+    """FTSS lines 5-9: pick the soft ready process whose dropping hurts
+    the overall utility least.
+
+    Returns ``None`` when there is no soft process to sacrifice.
+    """
+    if not ready_soft:
+        return None
+    losses: Dict[str, float] = {}
+    for name in ready_soft:
+        keep_u, drop_u = dropping_gain(
+            app, name, unscheduled_soft, now, dropped
+        )
+        losses[name] = keep_u - drop_u
+    return min(sorted(losses), key=lambda n: losses[n])

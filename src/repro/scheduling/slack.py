@@ -1,0 +1,133 @@
+"""Slack analysis: where the time margins of an f-schedule live.
+
+The recovery-slack mechanism (paper §3) is implicit in the worst-case
+analysis of :class:`~repro.scheduling.FSchedule`; this module makes it
+inspectable.  For each position of a schedule it reports:
+
+* the worst-case completion and the governing constraint (own
+  deadline, a later hard process's deadline, or the period),
+* the *deadline slack* — how much later this process could complete in
+  the worst case before some constraint breaks, and
+* the *recovery demand* — the shared-slack time reserved up to this
+  position for the fault budget.
+
+Engineers use exactly these numbers to judge how brittle a schedule
+is and which process to optimize; the tests use them to cross-check
+the analysis against first principles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.scheduling.fschedule import (
+    FSchedule,
+    shared_recovery_demand,
+)
+
+
+@dataclass(frozen=True)
+class SlackEntry:
+    """Timing margins of one schedule position."""
+
+    name: str
+    worst_case_completion: int
+    recovery_demand: int
+    deadline: Optional[int]
+    deadline_slack: Optional[int]  # None for soft processes
+    period_slack: int
+
+    @property
+    def binding(self) -> str:
+        """Which constraint is tightest for this position."""
+        if (
+            self.deadline_slack is not None
+            and self.deadline_slack <= self.period_slack
+        ):
+            return "deadline"
+        return "period"
+
+
+def slack_profile(schedule: FSchedule) -> List[SlackEntry]:
+    """Per-position slack analysis of ``schedule``."""
+    app = schedule.app
+    completions = schedule.worst_case_completions()
+    makespan = schedule.worst_case_makespan()
+    profile: List[SlackEntry] = []
+    needs: List[Tuple[int, int]] = []
+    for entry in schedule.entries:
+        proc = app.process(entry.name)
+        if entry.reexecutions > 0:
+            needs.append((app.recovery_need(entry.name), entry.reexecutions))
+        demand = (
+            shared_recovery_demand(needs, schedule.fault_budget)
+            if schedule.slack_sharing
+            else sum(
+                cost * min(cap, schedule.fault_budget)
+                for cost, cap in needs
+            )
+        )
+        completion = completions[entry.name]
+        deadline_slack = None
+        if proc.is_hard:
+            deadline_slack = proc.deadline - completion
+        profile.append(
+            SlackEntry(
+                name=entry.name,
+                worst_case_completion=completion,
+                recovery_demand=demand,
+                deadline=proc.deadline,
+                deadline_slack=deadline_slack,
+                period_slack=app.period - makespan,
+            )
+        )
+    return profile
+
+
+def minimum_slack(schedule: FSchedule) -> int:
+    """The schedule's tightest margin (negative = infeasible).
+
+    The minimum over all hard deadline slacks and the period slack;
+    ``is_schedulable()`` is equivalent to ``minimum_slack() >= 0`` and
+    the property tests assert exactly that.
+    """
+    app = schedule.app
+    margins = [app.period - schedule.worst_case_makespan()]
+    completions = schedule.worst_case_completions()
+    for entry in schedule.entries:
+        proc = app.process(entry.name)
+        if proc.is_hard:
+            margins.append(proc.deadline - completions[entry.name])
+    # Missing hard processes make the schedule infeasible outright.
+    scheduled = {e.name for e in schedule.entries}
+    for proc in app.hard:
+        if (
+            proc.name not in scheduled
+            and proc.name not in schedule.prior_completed
+        ):
+            return -app.period
+    return min(margins)
+
+
+def format_slack_profile(schedule: FSchedule) -> str:
+    """Plain-text rendering of :func:`slack_profile`."""
+    rows = slack_profile(schedule)
+    header = (
+        f"{'process':<14} {'wc completion':>13} {'demand':>7} "
+        f"{'deadline':>9} {'slack':>7} {'binding':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        deadline = row.deadline if row.deadline is not None else "-"
+        slack = (
+            row.deadline_slack
+            if row.deadline_slack is not None
+            else row.period_slack
+        )
+        lines.append(
+            f"{row.name:<14} {row.worst_case_completion:>13} "
+            f"{row.recovery_demand:>7} {str(deadline):>9} {slack:>7} "
+            f"{row.binding:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Time/utility functions, stale-value propagation and aggregation."""
+
+from repro.utility.aggregate import (
+    UtilityAccumulator,
+    completion_times_for_order,
+    schedule_expected_utility,
+)
+from repro.utility.functions import (
+    ConstantUtility,
+    LinearUtility,
+    StepUtility,
+    TabulatedUtility,
+    UtilityFunction,
+    utility_from_dict,
+)
+from repro.utility.stale import (
+    degraded_utility,
+    stale_coefficient,
+    stale_coefficients,
+)
+
+__all__ = [
+    "ConstantUtility",
+    "LinearUtility",
+    "StepUtility",
+    "TabulatedUtility",
+    "UtilityAccumulator",
+    "UtilityFunction",
+    "completion_times_for_order",
+    "degraded_utility",
+    "schedule_expected_utility",
+    "stale_coefficient",
+    "stale_coefficients",
+    "utility_from_dict",
+]

@@ -1,0 +1,124 @@
+"""Utility aggregation over (partial) schedules and outcomes.
+
+The schedulers repeatedly need the overall utility of a hypothetical
+ordering under assumed execution times (average-case for optimization,
+observed times for evaluation).  :class:`UtilityAccumulator` provides
+an incremental view used inside the list scheduler, and
+:func:`schedule_expected_utility` scores a complete ordering.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.utility.stale import stale_coefficients
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.graph import ProcessGraph
+
+
+def completion_times_for_order(
+    graph: ProcessGraph,
+    order: Sequence[str],
+    durations: Mapping[str, int],
+    start: int = 0,
+) -> Dict[str, int]:
+    """Back-to-back completion times of ``order`` on one processor.
+
+    ``durations`` supplies the assumed execution time of each process
+    (AET for optimization, observed for evaluation).  Dropped processes
+    are simply absent from ``order``.
+    """
+    times: Dict[str, int] = {}
+    clock = start
+    for name in order:
+        clock += durations[name]
+        times[name] = clock
+    return times
+
+
+def schedule_expected_utility(
+    graph: ProcessGraph,
+    order: Sequence[str],
+    durations: Mapping[str, int],
+    dropped: Iterable[str] = (),
+    start: int = 0,
+    period: Optional[int] = None,
+) -> float:
+    """Overall utility of executing ``order`` back-to-back.
+
+    Soft processes not in ``order`` and not in ``dropped`` are treated
+    as dropped as well (they produce no utility in this hypothetical
+    schedule).  When ``period`` is given, soft completions beyond the
+    period contribute zero (the cycle is over; the paper treats work
+    past T as useless), while hard processes are the schedulability
+    analysis' concern, not this function's.
+    """
+    executed = set(order)
+    dropped_all = set(dropped)
+    for proc in graph.soft_processes():
+        if proc.name not in executed:
+            dropped_all.add(proc.name)
+    alphas = stale_coefficients(graph, dropped_all)
+    times = completion_times_for_order(graph, order, durations, start)
+    total = 0.0
+    for name in order:
+        proc = graph[name]
+        if not proc.is_soft:
+            continue
+        completion = times[name]
+        if period is not None and completion > period:
+            continue
+        total += alphas[name] * proc.utility_at(completion)
+    return total
+
+
+class UtilityAccumulator:
+    """Incremental utility bookkeeping for list schedulers.
+
+    Tracks scheduled completion times and the dropped set; utility is
+    recomputed lazily because stale coefficients of later processes
+    depend on global dropping decisions.
+    """
+
+    def __init__(self, graph: ProcessGraph, period: Optional[int] = None):
+        self._graph = graph
+        self._period = period
+        self._order: List[str] = []
+        self._times: Dict[str, int] = {}
+        self._dropped: set = set()
+
+    @property
+    def order(self) -> List[str]:
+        return list(self._order)
+
+    @property
+    def dropped(self) -> List[str]:
+        return sorted(self._dropped)
+
+    def schedule(self, name: str, completion_time: int) -> None:
+        self._order.append(name)
+        self._times[name] = completion_time
+
+    def drop(self, name: str) -> None:
+        self._dropped.add(name)
+
+    def utility(self) -> float:
+        """Current overall utility of the scheduled prefix."""
+        dropped_all = set(self._dropped)
+        executed = set(self._order)
+        for proc in self._graph.soft_processes():
+            if proc.name not in executed and proc.name not in dropped_all:
+                # Not yet decided; treat as absent for the prefix value.
+                dropped_all.add(proc.name)
+        alphas = stale_coefficients(self._graph, dropped_all)
+        total = 0.0
+        for name in self._order:
+            proc = self._graph[name]
+            if not proc.is_soft:
+                continue
+            t = self._times[name]
+            if self._period is not None and t > self._period:
+                continue
+            total += alphas[name] * proc.utility_at(t)
+        return total

@@ -1,0 +1,37 @@
+"""Workload substrate: random DAG suites and the cruise controller."""
+
+from repro.workloads.cruise import cruise_controller
+from repro.workloads.deadlines import (
+    assign_deadlines,
+    assign_period,
+    hard_only_bounds,
+)
+from repro.workloads.exec_times import (
+    DEFAULT_TIMING,
+    TimingSpec,
+    draw_execution_times,
+)
+from repro.workloads.random_dags import fanin_fanout_dag, layered_dag, random_dag
+from repro.workloads.suite import (
+    WorkloadSpec,
+    generate_application,
+    generate_suite,
+)
+from repro.workloads.utility_gen import step_utility_for_range
+
+__all__ = [
+    "DEFAULT_TIMING",
+    "TimingSpec",
+    "WorkloadSpec",
+    "assign_deadlines",
+    "assign_period",
+    "cruise_controller",
+    "draw_execution_times",
+    "fanin_fanout_dag",
+    "generate_application",
+    "generate_suite",
+    "hard_only_bounds",
+    "layered_dag",
+    "random_dag",
+    "step_utility_for_range",
+]

@@ -1,0 +1,136 @@
+"""Random task-graph structure generation (TGFF-style).
+
+The paper evaluates on 450 generated applications with 10..50
+processes (§6) but does not publish the generator.  We provide the two
+standard structures of the embedded-scheduling literature:
+
+* **layered** DAGs — processes are arranged in layers; edges connect
+  earlier layers to later ones with a given density (the shape TGFF's
+  series-parallel expansion tends to produce); and
+* **fan-in/fan-out** DAGs — the classic TGFF growth process: repeatedly
+  attach a fan-out of new nodes to a random frontier node, or join
+  several frontier nodes into a fan-in node.
+
+Both return a :class:`networkx.DiGraph` of anonymous node ids in
+topological order; :mod:`repro.workloads.suite` attaches processes,
+timing and utility to them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def layered_dag(
+    n_nodes: int,
+    rng: np.random.Generator,
+    n_layers: Optional[int] = None,
+    edge_probability: float = 0.3,
+) -> nx.DiGraph:
+    """A layered random DAG with ``n_nodes`` nodes.
+
+    Nodes are split into layers (roughly sqrt(n) layers by default);
+    each node gets at least one predecessor from the previous layer
+    (so the graph is weakly connected) and extra edges from earlier
+    layers with ``edge_probability``.
+    """
+    if n_nodes < 1:
+        raise ModelError("need at least one node")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ModelError("edge probability must be in [0, 1]")
+    if n_layers is None:
+        n_layers = max(1, int(round(float(np.sqrt(n_nodes)))))
+    n_layers = min(n_layers, n_nodes)
+
+    # Distribute nodes over layers (every layer non-empty).
+    layer_of: List[int] = []
+    base = n_nodes // n_layers
+    extra = n_nodes % n_layers
+    for layer in range(n_layers):
+        count = base + (1 if layer < extra else 0)
+        layer_of.extend([layer] * count)
+
+    graph = nx.DiGraph()
+    layers: List[List[int]] = [[] for _ in range(n_layers)]
+    for node in range(n_nodes):
+        graph.add_node(node, layer=layer_of[node])
+        layers[layer_of[node]].append(node)
+
+    for node in range(n_nodes):
+        layer = layer_of[node]
+        if layer == 0:
+            continue
+        prev = layers[layer - 1]
+        parent = int(rng.choice(prev))
+        graph.add_edge(parent, node)
+        earlier = [m for m in range(n_nodes) if layer_of[m] < layer]
+        for candidate in earlier:
+            if candidate == parent:
+                continue
+            if rng.random() < edge_probability / max(1, layer):
+                graph.add_edge(candidate, node)
+    return graph
+
+
+def fanin_fanout_dag(
+    n_nodes: int,
+    rng: np.random.Generator,
+    max_fan_out: int = 3,
+    max_fan_in: int = 3,
+) -> nx.DiGraph:
+    """TGFF-style fan-in/fan-out growth to ``n_nodes`` nodes."""
+    if n_nodes < 1:
+        raise ModelError("need at least one node")
+    graph = nx.DiGraph()
+    graph.add_node(0)
+    frontier: List[int] = [0]
+    next_id = 1
+    while next_id < n_nodes:
+        if len(frontier) >= 2 and rng.random() < 0.4:
+            # Fan-in: join several frontier nodes into a new node.
+            count = int(rng.integers(2, min(max_fan_in, len(frontier)) + 1))
+            picks = rng.choice(len(frontier), size=count, replace=False)
+            parents = [frontier[int(i)] for i in picks]
+            node = next_id
+            next_id += 1
+            graph.add_node(node)
+            for parent in parents:
+                graph.add_edge(parent, node)
+            frontier = [f for f in frontier if f not in parents]
+            frontier.append(node)
+        else:
+            # Fan-out: sprout children from a random frontier node.
+            parent = frontier[int(rng.integers(len(frontier)))]
+            count = int(rng.integers(1, max_fan_out + 1))
+            count = min(count, n_nodes - next_id)
+            new_nodes = []
+            for _ in range(count):
+                node = next_id
+                next_id += 1
+                graph.add_node(node)
+                graph.add_edge(parent, node)
+                new_nodes.append(node)
+            frontier.remove(parent)
+            frontier.extend(new_nodes)
+        if not frontier:  # pragma: no cover - defensive
+            frontier = [next_id - 1]
+    return graph
+
+
+def random_dag(
+    n_nodes: int,
+    rng: np.random.Generator,
+    structure: str = "layered",
+    **kwargs,
+) -> nx.DiGraph:
+    """Dispatch on ``structure`` ('layered' or 'fanin_fanout')."""
+    if structure == "layered":
+        return layered_dag(n_nodes, rng, **kwargs)
+    if structure == "fanin_fanout":
+        return fanin_fanout_dag(n_nodes, rng, **kwargs)
+    raise ModelError(f"unknown DAG structure {structure!r}")

@@ -1,0 +1,66 @@
+"""Utility-function generation for soft processes of synthetic
+workloads.
+
+The paper does not publish how utility functions were generated for
+the 450 applications; we follow the shape its worked examples use
+(non-increasing step functions, Figs. 2/4/8) and scale the breakpoints
+to each process's *plausible completion range* in the application, so
+the functions actually discriminate between good and bad schedules:
+a function that is flat over every reachable completion time would
+make utility maximization trivial, and one that drops to zero before
+the earliest possible completion would be dead weight.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.utility.functions import StepUtility
+
+
+def step_utility_for_range(
+    earliest: int,
+    latest: int,
+    rng: np.random.Generator,
+    max_value_range: Tuple[int, int] = (20, 100),
+    n_steps_range: Tuple[int, int] = (2, 4),
+) -> StepUtility:
+    """A random non-increasing step utility discriminating [earliest,
+    latest].
+
+    The initial value is drawn from ``max_value_range``; 2..4 step
+    times are placed inside the completion range, with values
+    decreasing toward zero (the last step may keep a small residual
+    value, as in Fig. 4's U3 which retains 10 late).
+    """
+    if earliest < 0 or latest < earliest:
+        raise ModelError(
+            f"invalid completion range [{earliest}, {latest}]"
+        )
+    lo_value, hi_value = max_value_range
+    initial = int(rng.integers(lo_value, hi_value + 1))
+    n_steps = int(rng.integers(n_steps_range[0], n_steps_range[1] + 1))
+
+    span = max(latest - earliest, n_steps + 1)
+    raw_times = sorted(
+        rng.choice(np.arange(1, span), size=n_steps, replace=False)
+    )
+    times = [earliest + int(t) for t in raw_times]
+
+    # Strictly decreasing values from `initial` toward a small tail.
+    fractions = sorted(
+        (float(rng.uniform(0.0, 0.9)) for _ in range(n_steps)), reverse=True
+    )
+    values: List[float] = []
+    last = float(initial)
+    for fraction in fractions:
+        value = min(last, round(initial * fraction))
+        values.append(value)
+        last = value
+    if rng.random() < 0.5:
+        values[-1] = 0.0
+    steps = list(zip(times, values))
+    return StepUtility(initial, steps)

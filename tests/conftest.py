@@ -1,0 +1,54 @@
+"""Shared fixtures: the paper's worked examples and small generated
+applications."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.examples_support import (
+    paper_fig1_application,
+    paper_fig8_application,
+)
+from repro.workloads.cruise import cruise_controller
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+
+@pytest.fixture
+def fig1_app():
+    """Application A of Fig. 1 (T = 300, k = 1, µ = 10)."""
+    return paper_fig1_application()
+
+@pytest.fixture
+def fig1_overload_app():
+    """Fig. 4c variant: period reduced to 250."""
+    return paper_fig1_application(period=250)
+
+
+@pytest.fixture
+def fig8_app():
+    """Application A / G2 of Fig. 8 (k = 2, µ = 10, T = 220)."""
+    return paper_fig8_application()
+
+
+@pytest.fixture(scope="session")
+def cc_app():
+    """The 32-process cruise controller."""
+    return cruise_controller()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_app():
+    """A seeded 12-process generated application."""
+    return generate_application(WorkloadSpec(n_processes=12), seed=99)
+
+
+@pytest.fixture
+def medium_app():
+    """A seeded 20-process generated application."""
+    return generate_application(WorkloadSpec(n_processes=20), seed=7)

@@ -1,0 +1,97 @@
+"""Tests for the utility aggregation helpers."""
+
+import pytest
+
+from repro.model.graph import ProcessGraph
+from repro.model.process import hard_process, soft_process
+from repro.utility.aggregate import (
+    UtilityAccumulator,
+    completion_times_for_order,
+    schedule_expected_utility,
+)
+from repro.utility.functions import ConstantUtility, StepUtility
+
+
+def _graph():
+    return ProcessGraph(
+        [
+            hard_process("H", 10, 20, 200),
+            soft_process("A", 10, 20, StepUtility(40, [(50, 20), (120, 0)])),
+            soft_process("B", 10, 20, ConstantUtility(10, cutoff=200)),
+        ],
+        [("H", "A"), ("A", "B")],
+        period=250,
+    )
+
+
+class TestCompletionTimes:
+    def test_back_to_back(self):
+        graph = _graph()
+        times = completion_times_for_order(
+            graph, ["H", "A", "B"], {"H": 15, "A": 15, "B": 15}
+        )
+        assert times == {"H": 15, "A": 30, "B": 45}
+
+    def test_start_offset(self):
+        graph = _graph()
+        times = completion_times_for_order(
+            graph, ["A"], {"A": 15}, start=100
+        )
+        assert times == {"A": 115}
+
+
+class TestScheduleExpectedUtility:
+    def test_counts_soft_only(self):
+        graph = _graph()
+        value = schedule_expected_utility(
+            graph, ["H", "A", "B"], {"H": 15, "A": 15, "B": 15}
+        )
+        # A at 30 -> 40; B at 45 -> 10.
+        assert value == 50.0
+
+    def test_absent_soft_is_dropped(self):
+        graph = _graph()
+        value = schedule_expected_utility(
+            graph, ["H", "B"], {"H": 15, "B": 15}
+        )
+        # A dropped: B's alpha = (1 + 0) / (1 + 1) = 1/2.
+        assert value == pytest.approx(5.0)
+
+    def test_period_cutoff(self):
+        graph = _graph()
+        value = schedule_expected_utility(
+            graph,
+            ["H", "A", "B"],
+            {"H": 15, "A": 15, "B": 15},
+            period=40,
+        )
+        # B completes at 45 > 40 -> only A counts.
+        assert value == 40.0
+
+
+class TestUtilityAccumulator:
+    def test_incremental_matches_batch(self):
+        graph = _graph()
+        acc = UtilityAccumulator(graph, period=250)
+        acc.schedule("H", 15)
+        acc.schedule("A", 30)
+        acc.schedule("B", 45)
+        batch = schedule_expected_utility(
+            graph, ["H", "A", "B"], {"H": 15, "A": 15, "B": 15}
+        )
+        assert acc.utility() == batch
+
+    def test_drop_degrades_successors(self):
+        graph = _graph()
+        acc = UtilityAccumulator(graph, period=250)
+        acc.schedule("H", 15)
+        acc.drop("A")
+        acc.schedule("B", 30)
+        assert acc.dropped == ["A"]
+        assert acc.utility() == pytest.approx(5.0)
+
+    def test_order_property(self):
+        graph = _graph()
+        acc = UtilityAccumulator(graph)
+        acc.schedule("H", 15)
+        assert acc.order == ["H"]

@@ -1,0 +1,83 @@
+"""Tests for the Gantt renderer and statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.stats import (
+    confidence_interval_95,
+    geometric_mean,
+    mean_std,
+    paired_improvement_percent,
+)
+from repro.faults.injection import average_case_scenario
+from repro.faults.model import FaultScenario
+from repro.runtime.online import OnlineScheduler, simulate
+from repro.scheduling.ftss import ftss
+
+
+class TestGantt:
+    def test_renders_all_processes(self, fig1_app):
+        schedule = ftss(fig1_app)
+        result = simulate(fig1_app, schedule, average_case_scenario(fig1_app))
+        chart = render_gantt(fig1_app, result)
+        for name in ("P1", "P2", "P3"):
+            assert name in chart
+        assert "utility: 60.0" in chart
+
+    def test_shows_faults_and_recovery(self, fig1_app):
+        schedule = ftss(fig1_app)
+        scenario = average_case_scenario(
+            fig1_app, FaultScenario.of({"P1": 1})
+        )
+        result = simulate(fig1_app, schedule, scenario)
+        chart = render_gantt(fig1_app, result)
+        assert "x" in chart  # faulted attempt
+        assert "r" in chart  # recovery overhead
+
+    def test_dropped_processes_listed(self, cc_app):
+        schedule = ftss(cc_app)
+        result = simulate(cc_app, schedule, average_case_scenario(cc_app))
+        chart = render_gantt(cc_app, result)
+        if result.dropped:
+            assert "dropped:" in chart
+
+    def test_empty_trace_message(self, fig1_app):
+        schedule = ftss(fig1_app)
+        scheduler = OnlineScheduler(fig1_app, schedule, record_events=False)
+        result = scheduler.run(average_case_scenario(fig1_app))
+        chart = render_gantt(fig1_app, result)
+        assert "no events" in chart
+
+
+class TestStats:
+    def test_mean_std(self):
+        mean, std = mean_std([2.0, 4.0, 6.0])
+        assert mean == pytest.approx(4.0)
+        assert std == pytest.approx(2.0)
+
+    def test_mean_std_degenerate(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+        assert math.isnan(mean_std([])[0])
+
+    def test_confidence_interval(self):
+        lo, hi = confidence_interval_95([10.0] * 100)
+        assert lo == pytest.approx(10.0)
+        assert hi == pytest.approx(10.0)
+        lo, hi = confidence_interval_95([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_paired_improvement(self):
+        values = paired_improvement_percent([100.0, 200.0], [110.0, 180.0])
+        assert values == [pytest.approx(10.0), pytest.approx(-10.0)]
+        with pytest.raises(ValueError):
+            paired_improvement_percent([1.0], [1.0, 2.0])
+
+    def test_paired_improvement_skips_zero_baseline(self):
+        assert paired_improvement_percent([0.0], [5.0]) == []

@@ -1,0 +1,85 @@
+"""Tests for the embedded C table exporter."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.io.c_export import export_tree_to_c, write_c_tables
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.scheduling.ftss import ftss
+
+
+@pytest.fixture
+def fig1_tree(fig1_app):
+    root = ftss(fig1_app)
+    return ftqs(fig1_app, root, FTQSConfig(max_schedules=6))
+
+
+class TestGeneration:
+    def test_header_declares_everything(self, fig1_app, fig1_tree):
+        header, source = export_tree_to_c(fig1_app, fig1_tree, symbol="figone")
+        assert "RT_FIGONE_H" in header
+        assert "FIGONE_N_PROCESSES 3" in header
+        assert f"FIGONE_PERIOD {fig1_app.period}" in header
+        assert "rt_process" in header and "rt_arc" in header
+        assert "figone_root_schedule" in source
+
+    def test_counts_match_tree(self, fig1_app, fig1_tree):
+        header, source = export_tree_to_c(fig1_app, fig1_tree)
+        n_schedules = len(fig1_tree.nodes())
+        assert f"APP_N_SCHEDULES {n_schedules}" in header
+        total_entries = sum(
+            len(n.schedule.entries) for n in fig1_tree.nodes()
+        )
+        assert f"APP_N_ENTRIES {total_entries}" in header
+        total_arcs = sum(len(n.arcs) for n in fig1_tree.nodes())
+        assert f"APP_N_ARCS {total_arcs}" in header
+
+    def test_soft_processes_marked(self, fig1_app, fig1_tree):
+        _, source = export_tree_to_c(fig1_app, fig1_tree)
+        # P1 is hard (flag 1 + deadline), P2/P3 soft (RT_NO_DEADLINE).
+        assert "/* P1 */" in source
+        assert "RT_NO_DEADLINE" in source
+
+    def test_symbol_sanitization(self, fig1_app, fig1_tree):
+        header, _ = export_tree_to_c(fig1_app, fig1_tree, symbol="9 bad-name!")
+        assert "RT_G_9_BAD_NAME__H" in header
+
+    def test_write_files(self, tmp_path, fig1_app, fig1_tree):
+        header_path, source_path = write_c_tables(
+            fig1_app, fig1_tree, str(tmp_path), symbol="demo"
+        )
+        assert header_path.endswith("demo_schedule.h")
+        assert source_path.endswith("demo_schedule.c")
+        assert (tmp_path / "demo_schedule.h").exists()
+        assert (tmp_path / "demo_schedule.c").exists()
+
+
+class TestCompilation:
+    def test_compiles_with_cc(self, tmp_path, cc_app):
+        """The generated tables must compile standalone (when a C
+        compiler is available in the environment)."""
+        compiler = shutil.which("gcc") or shutil.which("cc")
+        if compiler is None:
+            pytest.skip("no C compiler available")
+        root = ftss(cc_app)
+        tree = ftqs(cc_app, root, FTQSConfig(max_schedules=8))
+        _, source_path = write_c_tables(
+            cc_app, tree, str(tmp_path), symbol="cruise"
+        )
+        result = subprocess.run(
+            [
+                compiler,
+                "-std=c99",
+                "-Wall",
+                "-Werror",
+                "-c",
+                source_path,
+                "-o",
+                str(tmp_path / "cruise.o"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr

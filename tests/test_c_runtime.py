@@ -1,0 +1,137 @@
+"""Differential test: the generated C reference scheduler must agree
+with the Python online scheduler on identical scenarios.
+
+The C reference implements the table-driven decisions only (see
+``repro.io.c_runtime``), so faults are placed on processes where both
+implementations provably agree: hard processes (always re-executed)
+and soft processes without re-execution allotments (always dropped on
+fault).
+"""
+
+import shutil
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.faults.injection import ExecutionScenario, ScenarioSampler
+from repro.faults.model import FaultScenario
+from repro.io.c_export import write_c_tables
+from repro.io.c_runtime import generate_c_harness, parse_harness_output
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.runtime.online import OnlineScheduler
+from repro.scheduling.ftss import ftss
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+
+def _compiler():
+    return shutil.which("gcc") or shutil.which("cc")
+
+
+def _table_driven_scenarios(app, tree, count, seed):
+    """Scenarios whose fault decisions are table-driven in both
+    implementations."""
+    sampler = ScenarioSampler(app, seed=seed)
+    # Fault candidates: hard processes, plus soft ones with a zero
+    # re-execution cap in EVERY schedule of the tree.
+    soft_caps = {}
+    for node in tree.nodes():
+        for entry in node.schedule.entries:
+            if app.process(entry.name).is_soft:
+                soft_caps[entry.name] = max(
+                    soft_caps.get(entry.name, 0), entry.reexecutions
+                )
+    candidates = [p.name for p in app.hard]
+    candidates += [n for n, cap in soft_caps.items() if cap == 0]
+    rng = np.random.default_rng(seed + 1)
+    scenarios = []
+    for i in range(count):
+        durations = sampler.sample_durations(max_attempts=app.k + 1)
+        n_faults = int(rng.integers(0, app.k + 1))
+        hits = {}
+        for _ in range(n_faults):
+            victim = candidates[int(rng.integers(len(candidates)))]
+            hits[victim] = hits.get(victim, 0) + 1
+        pattern = FaultScenario.of(hits) if hits else FaultScenario.none()
+        scenarios.append(
+            ExecutionScenario(
+                {n: tuple(v) for n, v in durations.items()}, pattern
+            )
+        )
+    return scenarios
+
+
+@pytest.mark.parametrize("seed", [3, 8])
+def test_c_reference_matches_python(tmp_path, seed):
+    compiler = _compiler()
+    if compiler is None:
+        pytest.skip("no C compiler available")
+
+    app = generate_application(WorkloadSpec(n_processes=10, k=2), seed=seed)
+    root = ftss(app)
+    assert root is not None
+    tree = ftqs(app, root, FTQSConfig(max_schedules=4))
+    scenarios = _table_driven_scenarios(app, tree, count=40, seed=seed)
+
+    # Build and run the C harness.
+    _, source_path = write_c_tables(app, tree, str(tmp_path), symbol="diff")
+    harness = tmp_path / "harness.c"
+    harness.write_text(generate_c_harness(app, scenarios, symbol="diff"))
+    binary = tmp_path / "harness"
+    compile_result = subprocess.run(
+        [
+            compiler,
+            "-std=c99",
+            "-Wall",
+            "-Werror",
+            "-I",
+            str(tmp_path),
+            str(harness),
+            source_path,
+            "-o",
+            str(binary),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert compile_result.returncode == 0, compile_result.stderr
+    run_result = subprocess.run(
+        [str(binary)], capture_output=True, text=True, timeout=30
+    )
+    assert run_result.returncode == 0
+    c_results = parse_harness_output(app, run_result.stdout)
+    assert len(c_results) == len(scenarios)
+
+    # Replay in Python and compare decision by decision.
+    scheduler = OnlineScheduler(app, tree, record_events=False)
+    node_index = {
+        nid: i for i, nid in enumerate(sorted(n.node_id for n in tree))
+    }
+    for scenario, (c_completions, c_switches, c_makespan) in zip(
+        scenarios, c_results
+    ):
+        py = scheduler.run(scenario)
+        assert py.completion_times == c_completions, str(scenario.faults)
+        assert [node_index[s] for s in py.switches] == c_switches
+        assert py.makespan == c_makespan
+
+
+def test_harness_source_is_self_contained(fig1_app):
+    root = ftss(fig1_app)
+    tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
+    sampler = ScenarioSampler(fig1_app, seed=1)
+    source = generate_c_harness(
+        fig1_app, sampler.sample_many(3, faults=0), symbol="figone"
+    )
+    assert '#include "figone_schedule.h"' in source
+    assert "N_SCENARIOS 3" in source
+    assert "run_scenario" in source
+
+
+def test_parse_harness_output_round_trip(fig1_app):
+    text = "0 DONE 0 50\n0 SWITCH 1\n0 DONE 1 90\n0 END 90\n"
+    results = parse_harness_output(fig1_app, text)
+    completions, switches, makespan = results[0]
+    assert completions == {"P1": 50, "P2": 90}
+    assert switches == [1]
+    assert makespan == 90

@@ -1,0 +1,71 @@
+"""CLI smoke tests via the main() entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.json_io import application_to_dict, save_json
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["experiment", "cc"])
+    assert args.name == "cc"
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--schedules", "4", "--faults", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "quasi-static tree" in out
+    assert "utility:" in out
+
+
+def test_schedule_and_simulate_round_trip(tmp_path, capsys, fig1_app):
+    app_path = str(tmp_path / "app.json")
+    save_json(application_to_dict(fig1_app), app_path)
+
+    assert main(["schedule", app_path, "--schedules", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "written to" in out
+    tree_path = app_path.replace(".json", ".tree.json")
+
+    assert main(["simulate", app_path, tree_path, "--scenarios", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "0 faults" in out
+    assert "ok" in out
+
+
+def test_export_c_tables(tmp_path, capsys, fig1_app):
+    app_path = str(tmp_path / "app.json")
+    save_json(application_to_dict(fig1_app), app_path)
+    assert main(["schedule", app_path, "--schedules", "4"]) == 0
+    capsys.readouterr()
+    tree_path = app_path.replace(".json", ".tree.json")
+    assert main(
+        ["export", app_path, tree_path, str(tmp_path), "--symbol", "demo"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "demo_schedule.h" in out
+    assert (tmp_path / "demo_schedule.c").exists()
+
+
+def test_report_command(tmp_path, capsys, fig1_app):
+    app_path = str(tmp_path / "app.json")
+    save_json(application_to_dict(fig1_app), app_path)
+    assert main(
+        ["report", app_path, "--schedules", "4", "--scenarios", "30"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "# Schedule synthesis report" in out
+
+
+def test_unknown_experiment_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["experiment", "fig99"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,143 @@
+"""Tests for the Monte-Carlo evaluator, metrics and the replanner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.evaluation.metrics import CellStats, NormalizedTable, format_table
+from repro.evaluation.montecarlo import MonteCarloEvaluator, normalized_to
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.runtime.replanner import run_replanning
+from repro.scheduling.ftsf import ftsf
+from repro.scheduling.ftss import ftss
+
+
+class TestMonteCarloEvaluator:
+    def test_paired_scenarios_shared(self, fig1_app):
+        evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=20, seed=3)
+        # Every plan sees exactly the same scenario objects.
+        scenarios_before = {
+            f: list(s) for f, s in evaluator.scenarios.items()
+        }
+        evaluator.evaluate(ftss(fig1_app))
+        assert evaluator.scenarios == scenarios_before
+
+    def test_outcomes_per_fault_count(self, fig1_app):
+        evaluator = MonteCarloEvaluator(
+            fig1_app, n_scenarios=30, fault_counts=[0, 1], seed=3
+        )
+        outcomes = evaluator.evaluate(ftss(fig1_app))
+        assert set(outcomes) == {0, 1}
+        assert outcomes[0].ok and outcomes[1].ok
+        assert outcomes[0].mean_utility >= outcomes[1].mean_utility
+        assert outcomes[1].mean_faults == pytest.approx(1.0)
+
+    def test_compare_runs_all_plans(self, fig1_app):
+        root = ftss(fig1_app)
+        baseline = ftsf(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
+        evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=50, seed=1)
+        results = evaluator.compare(
+            {"FTQS": tree, "FTSS": root, "FTSF": baseline}
+        )
+        assert set(results) == {"FTQS", "FTSS", "FTSF"}
+        # Paired comparison: FTQS >= FTSS on the same scenarios.
+        assert (
+            results["FTQS"][0].mean_utility
+            >= results["FTSS"][0].mean_utility - 1e-9
+        )
+
+    def test_normalized_to(self, fig1_app):
+        root = ftss(fig1_app)
+        evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=20, seed=1)
+        results = evaluator.compare({"A": root, "B": root})
+        percents = normalized_to(results, "A", reference_faults=0)
+        assert percents["A"][0] == pytest.approx(100.0)
+        assert percents["B"][0] == pytest.approx(100.0)
+
+    def test_normalized_to_unknown_reference(self, fig1_app):
+        evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=5, seed=1)
+        results = evaluator.compare({"A": ftss(fig1_app)})
+        with pytest.raises(RuntimeModelError):
+            normalized_to(results, "missing")
+
+    def test_zero_scenarios_rejected(self, fig1_app):
+        with pytest.raises(RuntimeModelError):
+            MonteCarloEvaluator(fig1_app, n_scenarios=0)
+
+    def test_seed_determinism(self, fig1_app):
+        a = MonteCarloEvaluator(fig1_app, n_scenarios=10, seed=5)
+        b = MonteCarloEvaluator(fig1_app, n_scenarios=10, seed=5)
+        plan = ftss(fig1_app)
+        assert (
+            a.evaluate(plan)[0].mean_utility
+            == b.evaluate(plan)[0].mean_utility
+        )
+
+
+class TestMetrics:
+    def test_cell_stats(self):
+        stats = CellStats.from_values([10.0, 20.0, 30.0])
+        assert stats.mean == pytest.approx(20.0)
+        assert stats.count == 3
+
+    def test_cell_stats_empty(self):
+        stats = CellStats.from_values([])
+        assert stats.count == 0
+        assert np.isnan(stats.mean)
+
+    def test_normalized_table(self):
+        table = NormalizedTable()
+        table.add("FTQS", 0, 100.0)
+        table.add("FTQS", 0, 110.0)
+        table.add("FTSS", 3, 80.0)
+        assert table.approaches() == ["FTQS", "FTSS"]
+        assert table.fault_counts() == [0, 3]
+        assert table.cell("FTQS", 0).mean == pytest.approx(105.0)
+        rows = table.as_rows()
+        assert len(rows) == 2
+
+    def test_format_table(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.25], ["bb", 3.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert any("1.2" in line for line in lines)
+
+
+class TestReplanner:
+    def test_matches_deadlines_and_counts_invocations(self, fig1_app):
+        from repro.faults.injection import average_case_scenario
+
+        outcome = run_replanning(fig1_app, average_case_scenario(fig1_app))
+        assert outcome.result.met_all_hard_deadlines
+        # One FTSS run per completed process + the final empty check.
+        assert outcome.scheduler_invocations >= 3
+        assert outcome.scheduling_seconds > 0
+
+    def test_handles_faults(self, fig1_app):
+        from repro.faults.injection import average_case_scenario
+        from repro.faults.model import FaultScenario
+
+        scenario = average_case_scenario(
+            fig1_app, FaultScenario.of({"P1": 1})
+        )
+        outcome = run_replanning(fig1_app, scenario)
+        assert outcome.result.met_all_hard_deadlines
+        assert outcome.result.faults_observed == 1
+
+    def test_replanner_at_least_as_good_as_static_on_average(self, fig1_app):
+        """Re-planning with true current times is the adaptivity
+        upper-ish bound the paper's §1 argues costs too much."""
+        from repro.faults.injection import ScenarioSampler
+        from repro.runtime.online import simulate
+
+        root = ftss(fig1_app)
+        sampler = ScenarioSampler(fig1_app, seed=8)
+        static_total = replan_total = 0.0
+        for scenario in sampler.sample_many(40, faults=0):
+            static_total += simulate(fig1_app, root, scenario).utility
+            replan_total += run_replanning(fig1_app, scenario).result.utility
+        assert replan_total >= static_total - 1e-9

@@ -1,0 +1,163 @@
+"""Smoke + shape tests for the experiment drivers (tiny scales).
+
+Full-scale regeneration lives in benchmarks/; here we check that each
+driver runs end-to-end and that the paper's qualitative shape holds
+even at a small scale (who wins, monotonicity of the M sweep, fault
+degradation direction).
+"""
+
+import pytest
+
+from repro.evaluation.experiments.ablations import (
+    AblationConfig,
+    format_ablations,
+    run_ablations,
+)
+from repro.evaluation.experiments.cc import CCConfig, run_cc
+from repro.evaluation.experiments.fig9 import (
+    Fig9Config,
+    fig9a_rows,
+    fig9b_rows,
+    format_fig9,
+    run_fig9,
+)
+from repro.evaluation.experiments.table1 import (
+    Table1Config,
+    format_table1,
+    run_table1,
+)
+
+TINY_FIG9 = Fig9Config(
+    sizes=(10, 15),
+    apps_per_size=2,
+    n_scenarios=40,
+    max_schedules=4,
+    seed=3,
+)
+
+TINY_TABLE1 = Table1Config(
+    tree_sizes=(1, 2, 8),
+    n_apps=2,
+    n_processes=12,
+    n_scenarios=40,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def fig9_rows():
+    return run_fig9(TINY_FIG9)
+
+
+class TestFig9:
+    def test_produces_all_series(self, fig9_rows):
+        approaches = {(r.approach, r.faults) for r in fig9_rows}
+        assert ("FTQS", 0) in approaches
+        assert ("FTSS", 0) in approaches
+        assert ("FTSF", 0) in approaches
+        assert ("FTQS", 3) in approaches
+        assert ("FTSS", 3) in approaches
+
+    def test_ftqs_is_the_reference(self, fig9_rows):
+        for row in fig9_rows:
+            if row.approach == "FTQS" and row.faults == 0:
+                assert row.utility_percent == pytest.approx(100.0)
+
+    def test_statics_do_not_beat_ftqs_no_fault(self, fig9_rows):
+        for row in fig9a_rows(fig9_rows):
+            assert row.utility_percent <= 100.0 + 1e-6
+
+    def test_fault_degradation_direction(self, fig9_rows):
+        """More faults -> lower FTQS utility (Fig. 9b's shape)."""
+        for size in TINY_FIG9.sizes:
+            series = {
+                r.faults: r.utility_percent
+                for r in fig9_rows
+                if r.approach == "FTQS" and r.size == size
+            }
+            assert series[0] >= series[1] >= series[3] - 1e-6
+
+    def test_formatting(self, fig9_rows):
+        text_a = format_fig9(fig9_rows, panel="a")
+        text_b = format_fig9(fig9_rows, panel="b")
+        assert "Fig. 9a" in text_a
+        assert "Fig. 9b" in text_b
+        assert "FTSF" in text_a
+
+
+class TestTable1:
+    def test_rows_and_monotonicity(self):
+        rows = run_table1(TINY_TABLE1)
+        assert [r.nodes for r in rows] == [1, 2, 8]
+        # M = 1 is FTSS itself -> exactly 100%.
+        assert rows[0].utility_percent[0] == pytest.approx(100.0)
+        # Larger trees never hurt (paired scenarios, switch-only-if-
+        # better): utility at M=8 >= utility at M=1.
+        assert rows[-1].utility_percent[0] >= rows[0].utility_percent[0] - 1e-6
+        # Runtime grows with the tree size.
+        assert rows[-1].runtime_seconds >= rows[0].runtime_seconds
+
+    def test_formatting(self):
+        rows = run_table1(TINY_TABLE1)
+        text = format_table1(rows)
+        assert "Nodes" in text and "Run time" in text
+
+
+class TestCC:
+    def test_report_shape(self):
+        report = run_cc(CCConfig(n_scenarios=60, max_schedules=8))
+        assert report.tree_nodes >= 1
+        assert report.distinct_schedules >= 1
+        # The paper's ordering: FTQS > FTSS > FTSF in the no-fault case.
+        assert report.ftqs_vs_ftss_percent > 0
+        assert report.ftqs_vs_ftsf_percent > report.ftqs_vs_ftss_percent
+        # Graceful degradation, in the right direction.
+        assert 0 <= report.degradation_1_fault_percent
+        assert (
+            report.degradation_1_fault_percent
+            <= report.degradation_2_faults_percent
+        )
+        assert "Cruise controller" in report.format()
+
+
+class TestAblations:
+    def test_rows_present_and_bounded(self):
+        rows = run_ablations(
+            AblationConfig(
+                n_apps=2,
+                n_processes=10,
+                n_scenarios=30,
+                max_schedules=4,
+                include_replanner=True,
+                replanner_scenarios=3,
+            )
+        )
+        names = {r.name for r in rows}
+        assert "ftss-default" in names
+        assert "ftqs-default" in names
+        assert "no-dropping" in names
+        by_name = {r.name: r for r in rows}
+        # The default FTSS is its own reference.
+        assert by_name["ftss-default"].utility_percent[0] == pytest.approx(
+            100.0
+        )
+        # FTQS never trails its own root on paired scenarios.
+        assert by_name["ftqs-default"].utility_percent[0] >= 100.0 - 1e-6
+        # The replanner row carries an overhead measurement.
+        if "online-replan" in names:
+            assert by_name["online-replan"].overhead_ms is not None
+            assert by_name["online-replan"].overhead_ms > 0
+        text = format_ablations(rows)
+        assert "configuration" in text
+
+    def test_formatting_without_replanner(self):
+        rows = run_ablations(
+            AblationConfig(
+                n_apps=1,
+                n_processes=8,
+                n_scenarios=20,
+                max_schedules=2,
+                include_replanner=False,
+            )
+        )
+        assert all(r.name != "online-replan" for r in rows)

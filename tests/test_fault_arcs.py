@@ -1,0 +1,103 @@
+"""Tests for fault-conditioned switching (the Fig. 5 fault groups).
+
+A child generated under the assumption "f faults already hit P_i"
+reserves slack for only k - f further faults, so its arc carries
+``required_faults = f`` — the online scheduler may only take it once
+that many faults were actually observed.
+"""
+
+import pytest
+
+from repro.faults.injection import scenario_with_times
+from repro.faults.model import FaultScenario
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.runtime.online import simulate
+from repro.scheduling.ftss import ftss
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+
+def _tree_with_fault_arcs(max_seed=60, n=12):
+    """Find a generated app whose tree contains a required_faults arc."""
+    for seed in range(max_seed):
+        app = generate_application(
+            WorkloadSpec(
+                n_processes=n, period_pressure_range=(0.75, 0.95)
+            ),
+            seed=seed,
+        )
+        root = ftss(app)
+        if root is None:
+            continue
+        tree = ftqs(
+            app, root, FTQSConfig(max_schedules=10, max_fault_variants=1)
+        )
+        for node in tree.nodes():
+            for arc in node.arcs:
+                if arc.required_faults > 0:
+                    return app, tree
+    pytest.skip("no fault-conditioned arc found in the search budget")
+
+
+class TestFaultConditionedArcs:
+    def test_fault_children_reserve_less_slack(self):
+        app, tree = _tree_with_fault_arcs()
+        for node in tree.nodes():
+            if node.assumed_faults > 0:
+                parent = tree.node(node.parent_id)
+                assert (
+                    node.schedule.fault_budget
+                    == parent.schedule.fault_budget - node.assumed_faults
+                )
+
+    def test_arc_condition_matches_budget(self):
+        app, tree = _tree_with_fault_arcs()
+        for node in tree.nodes():
+            for arc in node.arcs:
+                child = tree.node(arc.target)
+                assert arc.required_faults == app.k - child.schedule.fault_budget
+
+    def test_runtime_never_takes_arc_without_faults(self):
+        """In a fault-free run, no required_faults>0 arc may fire."""
+        app, tree = _tree_with_fault_arcs()
+        restricted = {
+            a.target
+            for node in tree.nodes()
+            for a in node.arcs
+            if a.required_faults > 0
+        }
+        from repro.faults.injection import ScenarioSampler
+
+        sampler = ScenarioSampler(app, seed=5)
+        for scenario in sampler.sample_many(60, faults=0):
+            result = simulate(app, tree, scenario, record_events=False)
+            assert not (set(result.switches) & restricted)
+            assert result.met_all_hard_deadlines
+
+    def test_runtime_can_take_arc_after_fault(self):
+        """Search for a concrete scenario where a fault-conditioned
+        switch actually fires, then check the guarantee held."""
+        app, tree = _tree_with_fault_arcs()
+        restricted = {
+            a.target
+            for node in tree.nodes()
+            for a in node.arcs
+            if a.required_faults > 0
+        }
+        from repro.faults.injection import ScenarioSampler
+
+        sampler = ScenarioSampler(app, seed=9)
+        fired = False
+        for faults in (1, 2, 3):
+            if faults > app.k:
+                break
+            for scenario in sampler.sample_many(150, faults=faults):
+                result = simulate(app, tree, scenario, record_events=False)
+                assert result.met_all_hard_deadlines
+                if set(result.switches) & restricted:
+                    fired = True
+        # The arc exists because interval partitioning found scenarios
+        # where it wins; with 450 sampled fault scenarios it should
+        # fire at least once.  If not, that is worth knowing — but it
+        # is a statistical property, so only warn via skip.
+        if not fired:
+            pytest.skip("no sampled scenario hit the fault arc window")

@@ -1,0 +1,179 @@
+"""Unit tests for the fault model, scenario enumeration and injection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError, RuntimeModelError
+from repro.faults.injection import (
+    ExecutionScenario,
+    ScenarioSampler,
+    average_case_scenario,
+    best_case_scenario,
+    scenario_with_times,
+    worst_case_scenario,
+)
+from repro.faults.model import FaultScenario
+from repro.faults.scenarios import (
+    count_scenarios,
+    enumerate_scenarios,
+    sample_scenario,
+    sample_scenarios,
+)
+
+
+class TestFaultScenario:
+    def test_none_scenario(self):
+        scenario = FaultScenario.none()
+        assert scenario.total_faults == 0
+        assert scenario.failures_of("P1") == 0
+        assert scenario.within_budget(0)
+
+    def test_of_mapping(self):
+        scenario = FaultScenario.of({"P1": 2, "P2": 1})
+        assert scenario.total_faults == 3
+        assert scenario.failures_of("P1") == 2
+        assert scenario.failures_of("P2") == 1
+        assert scenario.within_budget(3)
+        assert not scenario.within_budget(2)
+
+    def test_of_kwargs(self):
+        scenario = FaultScenario.of(P1=1)
+        assert scenario.failures_of("P1") == 1
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ModelError):
+            FaultScenario.of({"P1": 0})
+
+    def test_restrict_to(self):
+        scenario = FaultScenario.of({"P1": 1, "P2": 2})
+        restricted = scenario.restrict_to(["P2"])
+        assert restricted.failures_of("P1") == 0
+        assert restricted.failures_of("P2") == 2
+
+    def test_hashable_and_deterministic(self):
+        a = FaultScenario.of({"P1": 1, "P2": 2})
+        b = FaultScenario.of({"P2": 2, "P1": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestEnumeration:
+    def test_counts_match_formula(self):
+        names = ["A", "B", "C"]
+        for k in range(4):
+            scenarios = list(enumerate_scenarios(names, k))
+            assert len(scenarios) == count_scenarios(3, k)
+
+    def test_exact_filter(self):
+        names = ["A", "B"]
+        exact2 = list(enumerate_scenarios(names, 2, exact=2))
+        # Multisets of size 2 over 2 processes: AA, AB, BB.
+        assert len(exact2) == 3
+        assert all(s.total_faults == 2 for s in exact2)
+
+    def test_exponential_growth_motivates_pruning(self):
+        # The §3 claim: scenario count explodes with processes and k.
+        assert count_scenarios(50, 3) > 20_000
+        assert count_scenarios(50, 3) > count_scenarios(10, 3)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ModelError):
+            list(enumerate_scenarios(["A"], -1))
+        with pytest.raises(ModelError):
+            list(enumerate_scenarios(["A"], 1, exact=5))
+
+    def test_budget_respected(self):
+        for scenario in enumerate_scenarios(["A", "B"], 2):
+            assert scenario.within_budget(2)
+
+
+class TestSampling:
+    def test_sample_exact_faults(self, rng):
+        scenario = sample_scenario(["A", "B", "C"], 3, rng)
+        assert scenario.total_faults == 3
+
+    def test_sample_zero(self, rng):
+        assert sample_scenario(["A"], 0, rng) == FaultScenario.none()
+
+    def test_sample_no_processes_rejected(self, rng):
+        with pytest.raises(ModelError):
+            sample_scenario([], 1, rng)
+
+    def test_sample_many(self, rng):
+        scenarios = sample_scenarios(["A", "B"], 2, 50, rng)
+        assert len(scenarios) == 50
+        assert all(s.total_faults == 2 for s in scenarios)
+
+    def test_determinism_by_seed(self):
+        a = sample_scenarios(["A", "B"], 2, 10, np.random.default_rng(3))
+        b = sample_scenarios(["A", "B"], 2, 10, np.random.default_rng(3))
+        assert a == b
+
+
+class TestExecutionScenario:
+    def test_duration_per_attempt(self):
+        scenario = ExecutionScenario({"P1": (10, 20, 30)})
+        assert scenario.duration_of("P1", 0) == 10
+        assert scenario.duration_of("P1", 1) == 20
+        assert scenario.duration_of("P1", 5) == 30  # reuses the last
+
+    def test_unknown_process_rejected(self):
+        scenario = ExecutionScenario({"P1": (10,)})
+        with pytest.raises(RuntimeModelError):
+            scenario.duration_of("P9", 0)
+
+    def test_fails_respects_pattern(self):
+        scenario = ExecutionScenario(
+            {"P1": (10,)}, FaultScenario.of({"P1": 2})
+        )
+        assert scenario.fails("P1", 0)
+        assert scenario.fails("P1", 1)
+        assert not scenario.fails("P1", 2)
+
+    def test_fixed_time_scenarios(self, fig1_app):
+        avg = average_case_scenario(fig1_app)
+        worst = worst_case_scenario(fig1_app)
+        best = best_case_scenario(fig1_app)
+        assert avg.duration_of("P1", 0) == 50
+        assert worst.duration_of("P1", 0) == 70
+        assert best.duration_of("P1", 0) == 30
+
+    def test_out_of_range_time_rejected(self, fig1_app):
+        with pytest.raises(ModelError):
+            scenario_with_times(fig1_app, {"P1": 500})
+
+
+class TestScenarioSampler:
+    def test_durations_within_bounds(self, fig1_app):
+        sampler = ScenarioSampler(fig1_app, seed=5)
+        scenario = sampler.sample(faults=1)
+        for proc in fig1_app.processes:
+            for attempt in range(2):
+                duration = scenario.duration_of(proc.name, attempt)
+                assert proc.bcet <= duration <= proc.wcet
+        assert scenario.faults.total_faults == 1
+
+    def test_over_budget_rejected(self, fig1_app):
+        sampler = ScenarioSampler(fig1_app, seed=5)
+        with pytest.raises(ModelError):
+            sampler.sample(faults=fig1_app.k + 1)
+
+    def test_seed_determinism(self, fig1_app):
+        a = ScenarioSampler(fig1_app, seed=5).sample_many(5, faults=1)
+        b = ScenarioSampler(fig1_app, seed=5).sample_many(5, faults=1)
+        assert [s.faults for s in a] == [s.faults for s in b]
+        assert [s.durations for s in a] == [s.durations for s in b]
+
+    def test_seed_and_rng_mutually_exclusive(self, fig1_app, rng):
+        with pytest.raises(ModelError):
+            ScenarioSampler(fig1_app, seed=1, rng=rng)
+
+    def test_mean_duration_near_aet(self, fig1_app):
+        """Uniform draws should average near (BCET + WCET) / 2."""
+        sampler = ScenarioSampler(fig1_app, seed=11)
+        scenarios = sampler.sample_many(400, faults=0)
+        values = [s.duration_of("P1", 0) for s in scenarios]
+        assert abs(float(np.mean(values)) - 50.0) < 3.0

@@ -1,0 +1,105 @@
+"""Hypothesis property tests for the f-schedule timing analysis."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.quasistatic.intervals import rebased
+from repro.scheduling.fschedule import shared_recovery_demand
+from repro.scheduling.ftss import ftss
+from repro.scheduling.slack import minimum_slack
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+_slow = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+needs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=4),
+    ),
+    max_size=10,
+)
+
+
+class TestSharedRecoveryDemandProperties:
+    @given(needs=needs_strategy, budget=st.integers(0, 6))
+    def test_monotone_in_budget(self, needs, budget):
+        assert shared_recovery_demand(
+            needs, budget
+        ) <= shared_recovery_demand(needs, budget + 1)
+
+    @given(
+        needs=needs_strategy,
+        budget=st.integers(0, 6),
+        extra_cost=st.integers(1, 500),
+        extra_cap=st.integers(1, 4),
+    )
+    def test_monotone_in_needs(self, needs, budget, extra_cost, extra_cap):
+        base = shared_recovery_demand(needs, budget)
+        more = shared_recovery_demand(
+            needs + [(extra_cost, extra_cap)], budget
+        )
+        assert more >= base
+
+    @given(needs=needs_strategy, budget=st.integers(0, 6))
+    def test_bounded_by_budget_times_max(self, needs, budget):
+        demand = shared_recovery_demand(needs, budget)
+        if needs:
+            assert demand <= budget * max(cost for cost, _ in needs)
+        else:
+            assert demand == 0
+
+    @given(needs=needs_strategy, budget=st.integers(0, 6))
+    def test_never_exceeds_private_reservation(self, needs, budget):
+        private = sum(cost * min(cap, budget) for cost, cap in needs)
+        assert shared_recovery_demand(needs, budget) <= private
+
+
+class TestWorstCaseProperties:
+    @_slow
+    @given(seed=st.integers(0, 400))
+    def test_completions_monotone_along_order(self, seed):
+        app = generate_application(WorkloadSpec(n_processes=10), seed=seed)
+        schedule = ftss(app)
+        assert schedule is not None
+        completions = schedule.worst_case_completions()
+        values = [completions[name] for name in schedule.order]
+        assert values == sorted(values)
+
+    @_slow
+    @given(seed=st.integers(0, 400))
+    def test_worst_dominates_expected(self, seed):
+        app = generate_application(WorkloadSpec(n_processes=10), seed=seed)
+        schedule = ftss(app)
+        worst = schedule.worst_case_completions()
+        expected = schedule.expected_completions()
+        for name in schedule.order:
+            assert worst[name] >= expected[name]
+
+    @_slow
+    @given(seed=st.integers(0, 400), shift=st.integers(0, 200))
+    def test_rebase_shifts_uniformly(self, seed, shift):
+        app = generate_application(WorkloadSpec(n_processes=8), seed=seed)
+        schedule = ftss(app)
+        base = schedule.worst_case_completions()
+        moved = rebased(schedule, schedule.start_time + shift)
+        shifted = moved.worst_case_completions()
+        for name in schedule.order:
+            assert shifted[name] == base[name] + shift
+
+    @_slow
+    @given(seed=st.integers(0, 400))
+    def test_minimum_slack_consistency(self, seed):
+        app = generate_application(WorkloadSpec(n_processes=8), seed=seed)
+        schedule = ftss(app)
+        slack = minimum_slack(schedule)
+        assert slack >= 0
+        # Shifting by exactly the slack stays feasible; one more tick
+        # breaks it.
+        assert rebased(schedule, schedule.start_time + slack).is_schedulable()
+        assert not rebased(
+            schedule, schedule.start_time + slack + 1
+        ).is_schedulable()

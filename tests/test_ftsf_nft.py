@@ -1,0 +1,113 @@
+"""Tests for the FTSF baseline and the non-FT value scheduler."""
+
+import pytest
+
+from repro.faults.injection import worst_case_scenario
+from repro.faults.model import FaultScenario
+from repro.model.application import Application
+from repro.model.graph import ProcessGraph
+from repro.model.process import hard_process, soft_process
+from repro.runtime.online import simulate
+from repro.scheduling.ftsf import ftsf
+from repro.scheduling.ftss import ftss
+from repro.scheduling.nft import nft_schedule
+from repro.utility.functions import ConstantUtility, StepUtility
+
+
+class TestNFT:
+    def test_no_recovery_slack(self, fig1_app):
+        schedule = nft_schedule(fig1_app)
+        assert schedule is not None
+        assert schedule.fault_budget == 0
+        for entry in schedule.entries:
+            assert entry.reexecutions == 0
+
+    def test_fits_more_than_ft_schedule(self):
+        """Without recovery slack, a loaded app can keep more soft
+        processes than the fault-tolerant schedule can."""
+        graph = ProcessGraph(
+            [
+                hard_process("H", 40, 80, 200),
+                soft_process("S1", 40, 90, StepUtility(40, [(200, 0)])),
+                soft_process("S2", 40, 90, StepUtility(35, [(290, 0)])),
+            ],
+            [],
+            period=300,
+        )
+        # k = 1: FT schedule needs 90 ticks of recovery slack, so only
+        # one of the two soft processes fits; the non-FT schedule
+        # (80 + 90 + 90 = 260 <= 300) keeps both.
+        app = Application(graph, period=300, k=1, mu=10)
+        ft = ftss(app)
+        nft = nft_schedule(app)
+        assert ft is not None and nft is not None
+        assert len(nft) >= len(ft)
+
+    def test_unschedulable_returns_none(self):
+        graph = ProcessGraph(
+            [hard_process("H", 90, 120, 100)], [], period=200
+        )
+        app = Application(graph, period=200, k=0, mu=0)
+        assert nft_schedule(app) is None
+
+
+class TestFTSF:
+    def test_schedulable_and_fault_tolerant(self, fig1_app):
+        schedule = ftsf(fig1_app)
+        assert schedule is not None
+        assert schedule.is_schedulable()
+        assert schedule.fault_budget == fig1_app.k
+        assert schedule.reexecutions_of("P1") == fig1_app.k
+
+    def test_soft_processes_get_no_reexecutions(self, fig1_app):
+        schedule = ftsf(fig1_app)
+        for entry in schedule.entries:
+            if fig1_app.process(entry.name).is_soft:
+                assert entry.reexecutions == 0
+
+    def test_meets_deadlines_under_worst_faults(self, fig1_app):
+        schedule = ftsf(fig1_app)
+        scenario = worst_case_scenario(
+            fig1_app, FaultScenario.of({"P1": 1})
+        )
+        result = simulate(fig1_app, schedule, scenario)
+        assert result.met_all_hard_deadlines
+
+    def test_drops_low_value_soft_until_schedulable(self):
+        """An app where the non-FT order fits but the FT slack does
+        not: FTSF must drop the cheapest soft process."""
+        graph = ProcessGraph(
+            [
+                hard_process("H", 40, 80, 260),
+                soft_process("Low", 40, 90, ConstantUtility(5, cutoff=280)),
+                soft_process("High", 40, 90, ConstantUtility(50, cutoff=280)),
+            ],
+            [],
+            period=280,
+        )
+        app = Application(graph, period=280, k=1, mu=10)
+        schedule = ftsf(app)
+        assert schedule is not None
+        assert schedule.is_schedulable()
+        if "Low" in schedule.dropped and "High" in schedule:
+            pass  # dropped the cheap one, as intended
+        assert "High" in schedule or "Low" in schedule
+
+    def test_ftss_not_worse_on_examples(self, fig1_app, fig8_app, medium_app):
+        """FTSS should never trail FTSF in expected utility (the paper
+        reports FTSF 20-70% *worse*)."""
+        for app in (fig1_app, fig8_app, medium_app):
+            s_ftss = ftss(app)
+            s_ftsf = ftsf(app)
+            assert s_ftss is not None and s_ftsf is not None
+            assert (
+                s_ftss.expected_utility() >= s_ftsf.expected_utility() - 1e-9
+            )
+
+    def test_unschedulable_returns_none(self):
+        graph = ProcessGraph(
+            [hard_process("H", 90, 120, 130)], [], period=300
+        )
+        app = Application(graph, period=300, k=2, mu=20)
+        # FT slack: 120 + 2*140 = 400 > 130 -> hopeless.
+        assert ftsf(app) is None

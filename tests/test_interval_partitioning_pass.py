@@ -1,0 +1,88 @@
+"""Tests for the standalone interval-partitioning pass.
+
+FTQS attaches arcs at candidate admission; the standalone
+``interval_partitioning`` pass exists for manually assembled or
+deserialized trees and must reconstruct conditions equivalent to the
+integrated construction.
+"""
+
+import pytest
+
+from repro.quasistatic.ftqs import (
+    DEFAULT_FTQS_CONFIG,
+    FTQSConfig,
+    ftqs,
+    interval_partitioning,
+)
+from repro.scheduling.ftss import ftss
+
+
+def _arc_set(tree):
+    arcs = set()
+    for node in tree.nodes():
+        for arc in node.arcs:
+            arcs.add(
+                (
+                    node.node_id,
+                    arc.process,
+                    arc.lo,
+                    arc.hi,
+                    arc.required_faults,
+                    arc.target,
+                )
+            )
+    return arcs
+
+
+class TestStandalonePass:
+    def test_recomputes_identical_arcs(self, fig1_app):
+        root = ftss(fig1_app)
+        config = FTQSConfig(max_schedules=6)
+        tree = ftqs(fig1_app, root, config)
+        original = _arc_set(tree)
+        interval_partitioning(fig1_app, tree, config)
+        assert _arc_set(tree) == original
+
+    def test_recomputes_for_generated_app(self, small_app):
+        root = ftss(small_app)
+        config = FTQSConfig(max_schedules=6)
+        tree = ftqs(small_app, root, config)
+        original = _arc_set(tree)
+        interval_partitioning(small_app, tree, config)
+        assert _arc_set(tree) == original
+
+    def test_clears_stale_arcs_first(self, fig1_app):
+        from repro.quasistatic.tree import SwitchArc
+
+        root = ftss(fig1_app)
+        config = FTQSConfig(max_schedules=6)
+        tree = ftqs(fig1_app, root, config)
+        # Inject a bogus arc; the pass must remove it.
+        some_node = tree.root
+        some_node.arcs.append(
+            SwitchArc(
+                process=some_node.schedule.order[0],
+                lo=0,
+                hi=1,
+                required_faults=0,
+                target=tree.root_id,
+            )
+        )
+        interval_partitioning(fig1_app, tree, config)
+        for node in tree.nodes():
+            for arc in node.arcs:
+                assert arc.target != tree.root_id
+
+    def test_naive_mode_spans_to_safety_bound(self, fig1_app):
+        root = ftss(fig1_app)
+        config = FTQSConfig(
+            max_schedules=6, use_interval_partitioning=False
+        )
+        tree = ftqs(fig1_app, root, config)
+        from repro.quasistatic.intervals import rebased
+
+        for node in tree.nodes():
+            for arc in node.arcs:
+                child = tree.node(arc.target)
+                # Naive arcs still end at a safe switch time.
+                assert rebased(child.schedule, arc.hi).is_schedulable()

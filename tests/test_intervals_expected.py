@@ -1,0 +1,112 @@
+"""Validation of the expected-utility model inside interval
+partitioning: the analytic expectation must track a Monte-Carlo
+estimate of the same quantity."""
+
+import numpy as np
+import pytest
+
+from repro.quasistatic.intervals import TailProfile, TailTerm, tail_profile
+from repro.scheduling.ftss import ftss
+from repro.utility.functions import LinearUtility, StepUtility
+
+
+def _mc_expected(app, schedule, from_position, tc, rng, runs=4000):
+    """Monte-Carlo estimate of the tail's expected utility at tc."""
+    from repro.utility.stale import stale_coefficients
+
+    alphas = stale_coefficients(app.graph, schedule.all_dropped)
+    entries = schedule.entries[from_position:]
+    total = 0.0
+    for _ in range(runs):
+        clock = tc
+        for entry in entries:
+            proc = app.process(entry.name)
+            clock += int(rng.integers(proc.bcet, proc.wcet + 1))
+            if proc.is_soft and clock <= app.period:
+                total += alphas[entry.name] * proc.utility_at(clock)
+    return total / runs
+
+
+class TestExpectedAgainstMonteCarlo:
+    @pytest.mark.parametrize("tc", [30, 50, 80, 120])
+    def test_fig1_tail(self, fig1_app, tc):
+        schedule = ftss(fig1_app)
+        profile = tail_profile(fig1_app, schedule, from_position=1)
+        rng = np.random.default_rng(1)
+        analytic = profile.expected(tc)
+        empirical = _mc_expected(fig1_app, schedule, 1, tc, rng)
+        # Normal/uniform model vs truth: a few percent of the scale.
+        assert analytic == pytest.approx(empirical, abs=4.0)
+
+    def test_generated_app_tail(self, small_app):
+        """Generated applications declare AET = (BCET + WCET) / 2, the
+        mean of the sampling distribution, so the analytic expectation
+        must track the empirical one.  (The Fig. 8 example pins P1's
+        AET off-midpoint to match the paper's worked numbers, so it is
+        deliberately *not* used here.)"""
+        schedule = ftss(small_app)
+        assert schedule is not None
+        position = max(0, len(schedule.entries) // 2)
+        profile = tail_profile(small_app, schedule, from_position=position)
+        scale = max(
+            1.0, sum(t.alpha * t.fn.max_value() for t in profile.terms)
+        )
+        rng = np.random.default_rng(2)
+        for tc in (0, small_app.period // 4, small_app.period // 2):
+            analytic = profile.expected(tc)
+            empirical = _mc_expected(small_app, schedule, position, tc, rng)
+            assert analytic == pytest.approx(empirical, abs=0.06 * scale)
+
+
+class TestExpectedProperties:
+    def test_expected_non_increasing_in_tc(self, fig1_app):
+        schedule = ftss(fig1_app)
+        profile = tail_profile(fig1_app, schedule, from_position=1)
+        values = [profile.expected(tc) for tc in range(30, 200, 5)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_expected_bounded_by_max(self, fig1_app):
+        schedule = ftss(fig1_app)
+        profile = tail_profile(fig1_app, schedule, from_position=1)
+        bound = sum(t.alpha * t.fn.max_value() for t in profile.terms)
+        for tc in (0, 30, 100, 250):
+            assert 0.0 <= profile.expected(tc) <= bound + 1e-9
+
+    def test_single_process_exact_uniform(self):
+        """One tail process: expectation over the uniform duration is
+        computed exactly."""
+        fn = StepUtility(30, [(100, 0)])
+        term = TailTerm(
+            alpha=1.0, fn=fn, mean=50.0, variance=400 / 12.0,
+            lo_sum=40, hi_sum=60, count=1,
+        )
+        profile = TailProfile(terms=(term,), period=1000)
+        # tc = 45: completion uniform on [85, 105); value 30 while
+        # <= 100, i.e. for 16 of 20 mass -> 24 (within model accuracy
+        # of the continuous-uniform approximation).
+        assert profile.expected(45) == pytest.approx(
+            30 * (100 - 85) / 20, abs=2.0
+        )
+        # All mass before the breakpoint.
+        assert profile.expected(20) == pytest.approx(30.0)
+        # All mass after.
+        assert profile.expected(200) == pytest.approx(0.0)
+
+    def test_linear_utility_uses_quantiles(self):
+        fn = LinearUtility(100, 1.0)
+        term = TailTerm(
+            alpha=1.0, fn=fn, mean=50.0, variance=100.0,
+            lo_sum=20, hi_sum=80, count=2,
+        )
+        profile = TailProfile(terms=(term,), period=1000)
+        # E[100 - (tc + S)] = 100 - tc - 50 at tc = 10 -> ~40.
+        assert profile.expected(10) == pytest.approx(40.0, abs=3.0)
+
+    def test_point_utility_unchanged(self, fig1_app):
+        """The AET point evaluation (used by FTSS semantics) remains
+        available alongside the expectation."""
+        schedule = ftss(fig1_app)
+        profile = tail_profile(fig1_app, schedule, from_position=1)
+        # Root is P1, P3, P2: tail from position 1 at tc = 50 is the
+        # paper's average case, worth 60.
+        assert profile.utility(50) == 60.0

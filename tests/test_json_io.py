@@ -1,0 +1,140 @@
+"""Round-trip tests for the JSON persistence layer."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.io.json_io import (
+    application_from_dict,
+    application_to_dict,
+    load_json,
+    process_from_dict,
+    process_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.scheduling.ftss import ftss
+
+
+class TestProcessRoundTrip:
+    def test_hard(self, fig1_app):
+        proc = fig1_app.process("P1")
+        back = process_from_dict(process_to_dict(proc))
+        assert back == proc
+
+    def test_soft(self, fig1_app):
+        proc = fig1_app.process("P2")
+        back = process_from_dict(process_to_dict(proc))
+        assert back.utility == proc.utility
+        assert back.bcet == proc.bcet
+
+    def test_missing_field(self):
+        with pytest.raises(SerializationError):
+            process_from_dict({"name": "P"})
+
+
+class TestApplicationRoundTrip:
+    @pytest.mark.parametrize(
+        "fixture", ["fig1_app", "fig8_app", "small_app", "cc_app"]
+    )
+    def test_round_trip(self, fixture, request):
+        app = request.getfixturevalue(fixture)
+        back = application_from_dict(application_to_dict(app))
+        assert back.period == app.period
+        assert back.k == app.k and back.mu == app.mu
+        assert [p.name for p in back.processes] == [
+            p.name for p in app.processes
+        ]
+        assert sorted(back.graph.edges) == sorted(app.graph.edges)
+        for proc in app.processes:
+            twin = back.process(proc.name)
+            assert (twin.bcet, twin.aet, twin.wcet) == (
+                proc.bcet,
+                proc.aet,
+                proc.wcet,
+            )
+            assert twin.kind == proc.kind
+
+    def test_json_serializable(self, fig1_app):
+        text = json.dumps(application_to_dict(fig1_app))
+        back = application_from_dict(json.loads(text))
+        assert back.period == fig1_app.period
+
+    def test_version_check(self, fig1_app):
+        data = application_to_dict(fig1_app)
+        data["version"] = 999
+        with pytest.raises(SerializationError):
+            application_from_dict(data)
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip(self, fig1_app):
+        schedule = ftss(fig1_app)
+        back = schedule_from_dict(fig1_app, schedule_to_dict(schedule))
+        assert back.signature() == schedule.signature()
+        assert back.start_time == schedule.start_time
+        assert back.fault_budget == schedule.fault_budget
+        assert back.expected_utility() == schedule.expected_utility()
+
+    def test_tail_context_preserved(self, fig1_app):
+        tail = ftss(
+            fig1_app, fault_budget=1, start_time=30, prior_completed=["P1"]
+        )
+        back = schedule_from_dict(fig1_app, schedule_to_dict(tail))
+        assert back.prior_completed == frozenset({"P1"})
+        assert back.start_time == 30
+
+
+class TestTreeRoundTrip:
+    def test_round_trip(self, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=6))
+        back = tree_from_dict(fig1_app, tree_to_dict(tree))
+        assert len(back) == len(tree)
+        assert back.different_schedules() == tree.different_schedules()
+        # Arc structure preserved node by node.
+        for node in tree:
+            twin = back.node(node.node_id)
+            assert twin.schedule.signature() == node.schedule.signature()
+            assert len(twin.arcs) == len(node.arcs)
+            for a, b in zip(node.arcs, twin.arcs):
+                assert (a.process, a.lo, a.hi, a.required_faults) == (
+                    b.process,
+                    b.lo,
+                    b.hi,
+                    b.required_faults,
+                )
+
+    def test_round_trip_behaviour_identical(self, fig1_app):
+        """The reloaded tree drives the online scheduler identically."""
+        from repro.faults.injection import ScenarioSampler
+        from repro.runtime.online import simulate
+
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=6))
+        back = tree_from_dict(fig1_app, tree_to_dict(tree))
+        sampler = ScenarioSampler(fig1_app, seed=17)
+        for scenario in sampler.sample_many(25, faults=1):
+            original = simulate(fig1_app, tree, scenario)
+            reloaded = simulate(fig1_app, back, scenario)
+            assert original.utility == reloaded.utility
+            assert original.completion_times == reloaded.completion_times
+
+    def test_file_round_trip(self, tmp_path, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
+        path = str(tmp_path / "tree.json")
+        save_json(tree_to_dict(tree), path)
+        back = tree_from_dict(fig1_app, load_json(path))
+        assert len(back) == len(tree)
+
+    def test_load_non_object_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SerializationError):
+            load_json(str(path))

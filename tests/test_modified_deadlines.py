@@ -1,0 +1,99 @@
+"""Tests for the Blazewicz modified-deadline computation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.model.application import Application
+from repro.model.graph import ProcessGraph
+from repro.model.process import hard_process, soft_process
+from repro.scheduling.schedulability import edf_hard_order, modified_deadlines
+from repro.utility.functions import ConstantUtility
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+
+def _chain_app():
+    """A -> B -> C hard chain with loose early deadlines."""
+    graph = ProcessGraph(
+        [
+            hard_process("A", 5, 10, 300),
+            hard_process("B", 5, 10, 120),
+            hard_process("C", 5, 10, 100),
+        ],
+        [("A", "B"), ("B", "C")],
+        period=300,
+    )
+    return Application(graph, period=300, k=0, mu=0)
+
+
+class TestModifiedDeadlines:
+    def test_tightening_through_chain(self):
+        app = _chain_app()
+        d = modified_deadlines(app)
+        # C: 100; B: min(120, 100 - 10) = 90; A: min(300, 90 - 10) = 80.
+        assert d["C"] == 100
+        assert d["B"] == 90
+        assert d["A"] == 80
+
+    def test_strictly_increasing_along_edges(self):
+        app = _chain_app()
+        d = modified_deadlines(app)
+        assert d["A"] < d["B"] < d["C"]
+
+    def test_soft_intermediate_breaks_the_chain(self):
+        """A hard-hard constraint through a soft process vanishes: the
+        soft process may be dropped, decoupling the two."""
+        graph = ProcessGraph(
+            [
+                hard_process("A", 5, 10, 300),
+                soft_process("S", 5, 10, ConstantUtility(5)),
+                hard_process("C", 5, 10, 100),
+            ],
+            [("A", "S"), ("S", "C")],
+            period=300,
+        )
+        app = Application(graph, period=300, k=0, mu=0)
+        d = modified_deadlines(app)
+        assert d["A"] == 300  # not tightened by C through S
+        assert d["C"] == 100
+
+    def test_order_respects_precedence(self):
+        app = _chain_app()
+        order = edf_hard_order(app, ["C", "A", "B"])
+        assert order == ["A", "B", "C"]
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 300))
+    def test_sorted_order_is_topologically_valid(self, seed):
+        app = generate_application(WorkloadSpec(n_processes=12), seed=seed)
+        hard_names = [p.name for p in app.hard]
+        order = edf_hard_order(app, hard_names)
+        position = {n: i for i, n in enumerate(order)}
+        graph = app.graph
+        hard_set = set(hard_names)
+        for src, dst in graph.edges:
+            if src in hard_set and dst in hard_set:
+                assert position[src] < position[dst]
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 300))
+    def test_modified_never_exceeds_original(self, seed):
+        app = generate_application(WorkloadSpec(n_processes=12), seed=seed)
+        d = modified_deadlines(app)
+        for proc in app.hard:
+            assert d[proc.name] <= proc.deadline
+
+    def test_subset_order_is_subsequence(self, cc_app):
+        """The property the fast oracle relies on: ordering any subset
+        preserves the relative order of the full sort."""
+        full = edf_hard_order(cc_app, [p.name for p in cc_app.hard])
+        subset = [n for i, n in enumerate(full) if i % 2 == 0]
+        ordered = edf_hard_order(cc_app, subset)
+        assert ordered == subset

@@ -1,0 +1,100 @@
+"""End-to-end tests of multi-rate applications (hyper-period merging
+feeding the full synthesis + simulation pipeline)."""
+
+import pytest
+
+from repro.faults import ScenarioSampler, average_case_scenario
+from repro.model import (
+    ProcessGraph,
+    application_from_graphs,
+    hard_process,
+    soft_process,
+)
+from repro.quasistatic import schedule_application
+from repro.runtime import simulate
+from repro.scheduling import ftss
+from repro.utility import StepUtility
+
+
+@pytest.fixture
+def multirate_app():
+    """A 100 ms control graph plus a 200 ms logging graph."""
+    g1 = ProcessGraph(
+        [
+            hard_process("H", 10, 25, 90),
+            soft_process(
+                "S", 10, 20, StepUtility(30, [(60, 10), (120, 0)])
+            ),
+        ],
+        [("H", "S")],
+        name="fast",
+        period=100,
+    )
+    g2 = ProcessGraph(
+        [
+            soft_process(
+                "L", 20, 40, StepUtility(50, [(150, 20), (200, 0)])
+            )
+        ],
+        [],
+        name="slow",
+        period=200,
+    )
+    return application_from_graphs([g1, g2], k=1, mu=5)
+
+
+class TestMergedStructure:
+    def test_hyperperiod_and_instances(self, multirate_app):
+        assert multirate_app.period == 200
+        names = set(multirate_app.graph.process_names)
+        assert names == {"H#0", "S#0", "H#1", "S#1", "L#0"}
+
+    def test_second_instance_deadline_shifted(self, multirate_app):
+        assert multirate_app.process("H#0").deadline == 90
+        assert multirate_app.process("H#1").deadline == 190
+
+    def test_instance_chaining_enforced(self, multirate_app):
+        graph = multirate_app.graph
+        # Instance 1 of the fast graph cannot start before instance 0
+        # finished (chaining edge from the previous sink).
+        assert "H#1" in graph.descendants("S#0")
+
+    def test_shifted_utility_of_second_instance(self, multirate_app):
+        s1 = multirate_app.process("S#1")
+        s0 = multirate_app.process("S#0")
+        # Released 100 ticks later: same value, shifted in time.
+        assert s1.utility_at(150) == s0.utility_at(50)
+        assert s1.utility_at(170) == s0.utility_at(70)
+
+
+class TestMergedScheduling:
+    def test_ftss_schedules_all_instances(self, multirate_app):
+        schedule = ftss(multirate_app)
+        assert schedule is not None
+        assert set(schedule.order) == set(
+            multirate_app.graph.process_names
+        )
+        assert schedule.is_schedulable()
+        # Both hard activations keep their (shifted) deadlines.
+        completions = schedule.worst_case_completions()
+        assert completions["H#0"] <= 90
+        assert completions["H#1"] <= 190
+
+    def test_instances_execute_in_order(self, multirate_app):
+        schedule = ftss(multirate_app)
+        result = simulate(
+            multirate_app, schedule, average_case_scenario(multirate_app)
+        )
+        assert result.met_all_hard_deadlines
+        assert (
+            result.completion_times["H#0"] < result.completion_times["H#1"]
+        )
+
+    def test_quasistatic_pipeline(self, multirate_app):
+        result = schedule_application(multirate_app, max_schedules=4)
+        sampler = ScenarioSampler(multirate_app, seed=2)
+        for faults in (0, 1):
+            for scenario in sampler.sample_many(25, faults=faults):
+                outcome = simulate(multirate_app, result.tree, scenario)
+                assert outcome.met_all_hard_deadlines
+                assert outcome.makespan <= multirate_app.period

@@ -1,0 +1,225 @@
+"""Tests for the online scheduler: fault handling, switching and the
+hard-deadline guarantee."""
+
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.faults.injection import (
+    ScenarioSampler,
+    average_case_scenario,
+    best_case_scenario,
+    scenario_with_times,
+    worst_case_scenario,
+)
+from repro.faults.model import FaultScenario
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.runtime.online import OnlineScheduler, simulate
+from repro.runtime.trace import EventKind
+from repro.scheduling.ftss import ftss
+
+
+class TestStaticExecution:
+    def test_no_fault_average_case(self, fig1_app):
+        schedule = ftss(fig1_app)  # P1, P3, P2
+        result = simulate(fig1_app, schedule, average_case_scenario(fig1_app))
+        assert result.completion_times == {"P1": 50, "P3": 110, "P2": 160}
+        assert result.utility == 60.0
+        assert result.met_all_hard_deadlines
+        assert result.faults_observed == 0
+        assert result.switches == ()
+
+    def test_completion_follows_actual_times(self, fig1_app):
+        schedule = ftss(fig1_app)
+        scenario = scenario_with_times(
+            fig1_app, {"P1": 40, "P2": 35, "P3": 45}
+        )
+        result = simulate(fig1_app, schedule, scenario)
+        assert result.completion_times["P1"] == 40
+        assert result.makespan == 120
+
+    def test_hard_fault_reexecuted(self, fig1_app):
+        schedule = ftss(fig1_app)
+        scenario = average_case_scenario(
+            fig1_app, FaultScenario.of({"P1": 1})
+        )
+        result = simulate(fig1_app, schedule, scenario)
+        # P1: 50, fault, µ = 10, re-run 50 -> completes at 110.
+        assert result.completion_times["P1"] == 110
+        assert result.met_all_hard_deadlines
+        assert result.faults_observed == 1
+        assert len(result.events_of_kind(EventKind.RECOVERY)) == 1
+
+    def test_soft_fault_dropped_without_allotment(self, fig1_app):
+        schedule = ftss(fig1_app)
+        if schedule.reexecutions_of("P2") == 0:
+            scenario = average_case_scenario(
+                fig1_app, FaultScenario.of({"P2": 1})
+            )
+            result = simulate(fig1_app, schedule, scenario)
+            assert "P2" in result.dropped
+            assert "P2" not in result.completion_times
+
+    def test_event_trace_complete(self, fig1_app):
+        schedule = ftss(fig1_app)
+        result = simulate(fig1_app, schedule, average_case_scenario(fig1_app))
+        starts = result.events_of_kind(EventKind.START)
+        completes = result.events_of_kind(EventKind.COMPLETE)
+        assert len(starts) == 3
+        assert len(completes) == 3
+
+    def test_record_events_off(self, fig1_app):
+        schedule = ftss(fig1_app)
+        scheduler = OnlineScheduler(fig1_app, schedule, record_events=False)
+        result = scheduler.run(average_case_scenario(fig1_app))
+        assert result.events == []
+        assert result.utility == 60.0
+
+    def test_bad_plan_type_rejected(self, fig1_app):
+        with pytest.raises(RuntimeModelError):
+            OnlineScheduler(fig1_app, plan="not a plan")
+
+
+class TestQuasiStaticSwitching:
+    def test_early_completion_triggers_switch(self, fig1_app):
+        """Fig. 5 group-1 behaviour: when P1 completes early, the
+        scheduler switches to the tail that runs P2 first and earns 70
+        instead of 60."""
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
+        scenario = scenario_with_times(
+            fig1_app, {"P1": 30, "P2": 50, "P3": 60}
+        )
+        result = simulate(fig1_app, tree, scenario)
+        assert result.switches, "expected a schedule switch"
+        assert result.completion_times["P2"] < result.completion_times["P3"]
+        assert result.utility == 70.0
+
+    def test_average_completion_stays_on_root(self, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
+        result = simulate(fig1_app, tree, average_case_scenario(fig1_app))
+        # At tc(P1) = 50 the root (P3 first, utility 60) is the best.
+        assert result.utility == 60.0
+
+    def test_switch_event_recorded(self, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
+        scenario = scenario_with_times(
+            fig1_app, {"P1": 30, "P2": 50, "P3": 60}
+        )
+        result = simulate(fig1_app, tree, scenario)
+        switches = result.events_of_kind(EventKind.SWITCH)
+        assert len(switches) == len(result.switches)
+
+    def test_tree_quality_not_below_root_on_average(self, fig1_app):
+        """Switch decisions are made on *expected* tail times, so an
+        individual scenario can lose the gamble (the actual times may
+        deviate from the average the arc assumed) — but over a paired
+        scenario set the tree must not trail the static schedule."""
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=8))
+        sampler = ScenarioSampler(fig1_app, seed=42)
+        for faults in (0, 1):
+            static_total = 0.0
+            quasi_total = 0.0
+            for scenario in sampler.sample_many(120, faults=faults):
+                static_total += simulate(fig1_app, root, scenario).utility
+                quasi_total += simulate(fig1_app, tree, scenario).utility
+            assert quasi_total >= static_total - 1e-9
+
+
+class TestDeadlineGuarantee:
+    """The central safety property: whenever the root schedule was
+    declared schedulable, NO scenario with <= k faults may miss a hard
+    deadline — static or quasi-static."""
+
+    @pytest.mark.parametrize("seed", [11, 22, 33])
+    def test_random_scenarios_static(self, seed):
+        from repro.workloads.suite import WorkloadSpec, generate_application
+
+        app = generate_application(WorkloadSpec(n_processes=15), seed=seed)
+        schedule = ftss(app)
+        assert schedule is not None
+        sampler = ScenarioSampler(app, seed=seed)
+        for faults in range(app.k + 1):
+            for scenario in sampler.sample_many(30, faults=faults):
+                result = simulate(app, schedule, scenario, record_events=False)
+                assert result.met_all_hard_deadlines, (
+                    f"deadline miss with {faults} faults: "
+                    f"{result.hard_misses}"
+                )
+                assert result.makespan <= app.period
+
+    @pytest.mark.parametrize("seed", [11, 22])
+    def test_random_scenarios_quasistatic(self, seed):
+        from repro.workloads.suite import WorkloadSpec, generate_application
+
+        app = generate_application(WorkloadSpec(n_processes=15), seed=seed)
+        root = ftss(app)
+        tree = ftqs(app, root, FTQSConfig(max_schedules=6))
+        sampler = ScenarioSampler(app, seed=seed + 1)
+        for faults in range(app.k + 1):
+            for scenario in sampler.sample_many(30, faults=faults):
+                result = simulate(app, tree, scenario, record_events=False)
+                assert result.met_all_hard_deadlines
+                assert result.makespan <= app.period
+
+    def test_worst_case_with_max_faults_on_each_hard(self, fig8_app):
+        schedule = ftss(fig8_app)
+        for target in ("P1", "P5"):
+            scenario = worst_case_scenario(
+                fig8_app, FaultScenario.of({target: fig8_app.k})
+            )
+            result = simulate(fig8_app, schedule, scenario)
+            assert result.met_all_hard_deadlines
+
+    def test_faults_split_across_hard_processes(self, fig8_app):
+        schedule = ftss(fig8_app)
+        scenario = worst_case_scenario(
+            fig8_app, FaultScenario.of({"P1": 1, "P5": 1})
+        )
+        result = simulate(fig8_app, schedule, scenario)
+        assert result.met_all_hard_deadlines
+
+
+class TestSoftReexecutionAtRuntime:
+    def test_granted_reexecution_used_when_beneficial(self):
+        from repro.model.application import Application
+        from repro.model.graph import ProcessGraph
+        from repro.model.process import soft_process
+        from repro.utility.functions import ConstantUtility
+
+        graph = ProcessGraph(
+            [soft_process("S", 10, 20, ConstantUtility(100, cutoff=400))],
+            [],
+            period=500,
+        )
+        app = Application(graph, period=500, k=1, mu=5)
+        schedule = ftss(app)
+        assert schedule.reexecutions_of("S") >= 1
+        scenario = average_case_scenario(app, FaultScenario.of({"S": 1}))
+        result = simulate(app, schedule, scenario)
+        assert "S" in result.completion_times
+        assert result.utility == 100.0
+
+    def test_reexecution_skipped_when_worthless(self):
+        from repro.model.application import Application
+        from repro.model.graph import ProcessGraph
+        from repro.model.process import soft_process
+        from repro.utility.functions import StepUtility
+
+        graph = ProcessGraph(
+            [
+                soft_process("S", 10, 20, StepUtility(100, [(18, 0)])),
+            ],
+            [],
+            period=500,
+        )
+        app = Application(graph, period=500, k=1, mu=5)
+        schedule = ftss(app)
+        scenario = scenario_with_times(
+            app, {"S": 15}, FaultScenario.of({"S": 1})
+        )
+        result = simulate(app, schedule, scenario)
+        # Re-running would complete at 35 > 18, earning nothing.
+        assert "S" in result.dropped

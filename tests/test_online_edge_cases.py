@@ -1,0 +1,142 @@
+"""Additional edge-case tests of the online scheduler and runtime
+bookkeeping."""
+
+import pytest
+
+from repro.faults.injection import (
+    average_case_scenario,
+    scenario_with_times,
+)
+from repro.faults.model import FaultScenario
+from repro.model.application import Application
+from repro.model.graph import ProcessGraph
+from repro.model.process import hard_process, soft_process
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.runtime.online import OnlineScheduler, simulate
+from repro.runtime.trace import EventKind
+from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+from repro.scheduling.ftss import ftss
+from repro.utility.functions import ConstantUtility, StepUtility
+
+
+class TestDropSemantics:
+    def test_drop_event_recorded(self):
+        # First attempt (completing at 15) earns 10, but a retry after
+        # the fault (completing at 35 > 20) earns nothing — so no
+        # re-execution is allotted and the fault drops the process.
+        graph = ProcessGraph(
+            [soft_process("S", 10, 20, StepUtility(10, [(20, 0)]))],
+            [],
+            period=100,
+        )
+        app = Application(graph, period=100, k=1, mu=5)
+        schedule = ftss(app)
+        assert "S" in schedule.order
+        scenario = scenario_with_times(
+            app, {"S": 15}, FaultScenario.of({"S": 1})
+        )
+        result = simulate(app, schedule, scenario)
+        drops = result.events_of_kind(EventKind.DROP)
+        assert len(drops) == 1
+        assert drops[0].process == "S"
+
+    def test_statically_dropped_never_executes(self):
+        """A soft process the schedule excluded must neither run nor
+        appear in completion times."""
+        graph = ProcessGraph(
+            [
+                hard_process("H", 40, 80, 200),
+                soft_process("S1", 40, 90, StepUtility(40, [(150, 0)])),
+                soft_process("S2", 40, 90, StepUtility(10, [(150, 0)])),
+            ],
+            [],
+            period=220,
+        )
+        app = Application(graph, period=220, k=1, mu=10)
+        schedule = ftss(app)
+        assert schedule.dropped  # overload forces a drop
+        result = simulate(app, schedule, average_case_scenario(app))
+        for name in schedule.dropped:
+            assert name in result.dropped
+            assert name not in result.completion_times
+
+    def test_drop_degrades_consumer_alpha(self):
+        """Runtime drop of a producer degrades its consumer's earned
+        utility via the stale coefficient."""
+        # Retrying Prod would delay Cons past its 45-tick value cliff,
+        # so dropping (stale input for Cons, alpha = 1/2) wins; without
+        # the fault, keeping Prod is clearly better.
+        graph = ProcessGraph(
+            [
+                soft_process("Prod", 10, 20, StepUtility(10, [(20, 0)])),
+                soft_process("Cons", 10, 20, StepUtility(30, [(45, 5)])),
+            ],
+            [("Prod", "Cons")],
+            period=300,
+        )
+        app = Application(graph, period=300, k=1, mu=5)
+        schedule = ftss(app)
+        assert "Prod" in schedule
+        scenario = scenario_with_times(
+            app, {"Prod": 15, "Cons": 15}, FaultScenario.of({"Prod": 1})
+        )
+        result = simulate(app, schedule, scenario)
+        assert "Prod" in result.dropped
+        # Cons completes at 30: alpha 1/2 x 30 = 15.
+        assert result.utility == pytest.approx(15.0)
+
+
+class TestSwitchBoundaries:
+    def test_no_switch_outside_interval(self, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
+        arcs = tree.root.arcs_for("P1")
+        if not arcs:
+            pytest.skip("no arc generated")
+        hi = max(a.hi for a in arcs)
+        scenario = scenario_with_times(
+            fig1_app, {"P1": min(70, hi + 1), "P2": 50, "P3": 60}
+        )
+        if scenario.duration_of("P1", 0) <= hi:
+            pytest.skip("cannot exceed the window with valid times")
+        result = simulate(fig1_app, tree, scenario)
+        assert result.switches == ()
+
+    def test_switch_exactly_at_bounds(self, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
+        arcs = tree.root.arcs_for("P1")
+        if not arcs:
+            pytest.skip("no arc generated")
+        arc = arcs[0]
+        for tc in (arc.lo, arc.hi):
+            if not 30 <= tc <= 70:
+                continue  # not a reachable P1 duration
+            scenario = scenario_with_times(
+                fig1_app, {"P1": tc, "P2": 50, "P3": 60}
+            )
+            result = simulate(fig1_app, tree, scenario)
+            assert arc.target in result.switches
+
+
+class TestSchedulerReuse:
+    def test_scheduler_instance_is_stateless_between_runs(self, fig1_app):
+        schedule = ftss(fig1_app)
+        scheduler = OnlineScheduler(fig1_app, schedule)
+        first = scheduler.run(average_case_scenario(fig1_app))
+        second = scheduler.run(average_case_scenario(fig1_app))
+        assert first.completion_times == second.completion_times
+        assert first.utility == second.utility
+
+    def test_empty_schedule_runs(self):
+        graph = ProcessGraph(
+            [soft_process("S", 10, 20, ConstantUtility(5))],
+            [],
+            period=100,
+        )
+        app = Application(graph, period=100, k=0, mu=0)
+        empty = FSchedule(app, [])
+        result = simulate(app, empty, average_case_scenario(app))
+        assert result.completion_times == {}
+        assert result.utility == 0.0
+        assert "S" in result.dropped

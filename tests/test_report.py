@@ -1,0 +1,56 @@
+"""Tests for the markdown synthesis report."""
+
+import pytest
+
+from repro.analysis.report import SynthesisReport, synthesis_report
+from repro.errors import UnschedulableError
+
+
+class TestSynthesisReport:
+    @pytest.fixture(scope="class")
+    def report(self, request):
+        from repro.examples_support import paper_fig1_application
+
+        return synthesis_report(
+            paper_fig1_application(), max_schedules=4, n_scenarios=60
+        )
+
+    def test_artifacts_present(self, report):
+        assert report.root is not None
+        assert report.tree is not None
+        assert "FTQS" in report.utilities
+        assert "FTSS" in report.utilities
+
+    def test_markdown_sections(self, report):
+        text = report.to_markdown()
+        assert "# Schedule synthesis report" in text
+        assert "## Root f-schedule (FTSS)" in text
+        assert "## Quasi-static tree (FTQS)" in text
+        assert "## Evaluation" in text
+        assert "P1" in text
+
+    def test_markdown_table_rows(self, report):
+        text = report.to_markdown()
+        assert "| FTQS |" in text
+        assert "| FTSS |" in text
+
+    def test_arcs_listed(self, report):
+        text = report.to_markdown()
+        if sum(len(n.arcs) for n in report.tree.nodes()):
+            assert "after `" in text
+
+    def test_unschedulable_raises(self):
+        from repro.model.application import Application
+        from repro.model.graph import ProcessGraph
+        from repro.model.process import hard_process
+
+        graph = ProcessGraph(
+            [hard_process("H", 90, 120, 125)], [], period=400
+        )
+        app = Application(graph, period=400, k=2, mu=10)
+        with pytest.raises(UnschedulableError):
+            synthesis_report(app)
+
+    def test_overload_annotation(self, cc_app):
+        report = synthesis_report(cc_app, max_schedules=2, n_scenarios=30)
+        assert "overloaded" in report.to_markdown()

@@ -1,0 +1,111 @@
+"""Tests for the S_iH schedulability probes (slow path) and the EDF
+hard-tail ordering."""
+
+import pytest
+
+from repro.scheduling.fschedule import ScheduledEntry
+from repro.scheduling.schedulability import (
+    candidate_schedule,
+    edf_hard_order,
+    get_schedulable,
+    leads_to_schedulable,
+)
+
+
+class TestEdfHardOrder:
+    def test_orders_by_deadline(self, fig8_app):
+        order = edf_hard_order(fig8_app, ["P5", "P1"])
+        assert order == ["P1", "P5"]
+
+    def test_precedence_overrides_deadline(self, cc_app):
+        order = edf_hard_order(
+            cc_app, [p.name for p in cc_app.hard]
+        )
+        position = {n: i for i, n in enumerate(order)}
+        # Watchdog depends on both actuator commands.
+        assert position["Watchdog"] > position["ThrottleCmd"]
+        assert position["Watchdog"] > position["BrakeCmd"]
+        assert position["PIController"] > position["CtrlError"]
+
+    def test_respects_already_done(self, fig8_app):
+        order = edf_hard_order(fig8_app, ["P5"], already_done=["P1", "P2"])
+        assert order == ["P5"]
+
+
+class TestCandidateSchedule:
+    def test_fig8_s2h(self, fig8_app):
+        """The paper's S2H: prefix P1, candidate P2, hard tail P5 —
+        schedulable with two faults before the 220 ms deadline."""
+        s2h = candidate_schedule(
+            fig8_app,
+            prefix=[ScheduledEntry("P1", 2)],
+            candidate="P2",
+            fault_budget=2,
+        )
+        assert s2h.order == ["P1", "P2", "P5"]
+        completions = s2h.worst_case_completions()
+        assert completions["P5"] <= 220
+        assert s2h.is_schedulable()
+
+    def test_candidate_none_tests_prefix(self, fig8_app):
+        schedule = candidate_schedule(
+            fig8_app,
+            prefix=[ScheduledEntry("P1", 2)],
+            candidate=None,
+            fault_budget=2,
+        )
+        assert schedule.order == ["P1", "P5"]
+
+    def test_soft_candidate_gets_explicit_reexecutions(self, fig8_app):
+        schedule = candidate_schedule(
+            fig8_app,
+            prefix=[ScheduledEntry("P1", 2)],
+            candidate="P2",
+            fault_budget=2,
+            candidate_reexecutions=1,
+        )
+        assert schedule.reexecutions_of("P2") == 1
+
+    def test_hard_candidate_gets_budget(self, fig8_app):
+        schedule = candidate_schedule(
+            fig8_app, prefix=[], candidate="P1", fault_budget=2
+        )
+        assert schedule.reexecutions_of("P1") == 2
+
+
+class TestGetSchedulable:
+    def test_fig8_all_ready_schedulable_at_start(self, fig8_app):
+        ready = ["P1"]
+        result = get_schedulable(fig8_app, [], ready, fault_budget=2)
+        assert result == ["P1"]
+
+    def test_fig8_p2_schedulable_after_p1(self, fig8_app):
+        result = get_schedulable(
+            fig8_app,
+            [ScheduledEntry("P1", 2)],
+            ["P2", "P3"],
+            fault_budget=2,
+        )
+        assert "P2" in result
+        assert "P3" in result
+
+    def test_nothing_schedulable_when_overloaded(self, fig8_app):
+        # From start_time close to the period nothing hard fits.
+        assert not leads_to_schedulable(
+            fig8_app,
+            [],
+            "P1",
+            fault_budget=2,
+            start_time=200,
+        )
+
+    def test_late_start_blocks_soft(self, fig8_app):
+        # Starting P2 so late that P5's deadline breaks.
+        assert not leads_to_schedulable(
+            fig8_app,
+            [ScheduledEntry("P1", 2)],
+            "P2",
+            fault_budget=2,
+            start_time=150,
+            prior_completed=[],
+        )

@@ -1,0 +1,92 @@
+"""Tests for the slack-analysis utilities."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.scheduling.ftss import ftss
+from repro.scheduling.slack import (
+    format_slack_profile,
+    minimum_slack,
+    slack_profile,
+)
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+
+class TestSlackProfile:
+    def test_fig1_numbers(self, fig1_app):
+        schedule = ftss(fig1_app)  # P1+1, P3, P2(+r?)
+        profile = slack_profile(schedule)
+        first = profile[0]
+        assert first.name == "P1"
+        # WC completion 150 (70 + 80 recovery), deadline 180.
+        assert first.worst_case_completion == 150
+        assert first.deadline_slack == 30
+        assert first.recovery_demand == 80
+
+    def test_period_slack_shared_across_rows(self, fig1_app):
+        schedule = ftss(fig1_app)
+        profile = slack_profile(schedule)
+        assert len({row.period_slack for row in profile}) == 1
+
+    def test_soft_rows_have_no_deadline(self, fig1_app):
+        schedule = ftss(fig1_app)
+        for row in slack_profile(schedule):
+            if fig1_app.process(row.name).is_soft:
+                assert row.deadline is None
+                assert row.deadline_slack is None
+
+    def test_binding_constraint(self, fig8_app):
+        schedule = ftss(fig8_app)
+        profile = slack_profile(schedule)
+        assert all(row.binding in ("deadline", "period") for row in profile)
+
+    def test_formatting(self, fig1_app):
+        text = format_slack_profile(ftss(fig1_app))
+        assert "process" in text
+        assert "P1" in text
+
+
+class TestMinimumSlack:
+    def test_equivalent_to_is_schedulable(self, fig1_app, fig8_app, cc_app):
+        for app in (fig1_app, fig8_app, cc_app):
+            schedule = ftss(app)
+            assert schedule.is_schedulable()
+            assert minimum_slack(schedule) >= 0
+
+    def test_missing_hard_is_negative(self, fig8_app):
+        from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+
+        partial = FSchedule(fig8_app, [ScheduledEntry("P1", 2)])
+        assert minimum_slack(partial) < 0
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 400))
+    def test_sign_matches_is_schedulable(self, seed):
+        app = generate_application(WorkloadSpec(n_processes=10), seed=seed)
+        schedule = ftss(app)
+        assert schedule is not None
+        assert (minimum_slack(schedule) >= 0) == schedule.is_schedulable()
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 400),
+        shift=st.integers(1, 500),
+    )
+    def test_slack_decreases_with_start_shift(self, seed, shift):
+        """Shifting a schedule later eats exactly that much margin."""
+        from repro.quasistatic.intervals import rebased
+
+        app = generate_application(WorkloadSpec(n_processes=8), seed=seed)
+        schedule = ftss(app)
+        assert schedule is not None
+        base = minimum_slack(schedule)
+        shifted = rebased(schedule, schedule.start_time + shift)
+        assert minimum_slack(shifted) == base - shift

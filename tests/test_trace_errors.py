@@ -1,0 +1,96 @@
+"""Tests for the trace/result data structures and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    GraphError,
+    ModelError,
+    ReproError,
+    RuntimeModelError,
+    SchedulingError,
+    SerializationError,
+    TimingError,
+    UnschedulableError,
+    UtilityError,
+)
+from repro.runtime.trace import EventKind, ExecutionResult, TraceEvent
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            ModelError,
+            RuntimeModelError,
+            SchedulingError,
+            SerializationError,
+            TimingError,
+            UnschedulableError,
+            UtilityError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_graph_error_is_model_error(self):
+        assert issubclass(GraphError, ModelError)
+        assert issubclass(TimingError, ModelError)
+        assert issubclass(UtilityError, ModelError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise UnschedulableError("nope")
+
+
+class TestTraceEvent:
+    def test_fields(self):
+        event = TraceEvent(10, EventKind.START, "P1", 0)
+        assert event.time == 10
+        assert event.kind is EventKind.START
+        assert event.process == "P1"
+
+    def test_str_contains_essentials(self):
+        event = TraceEvent(10, EventKind.FAULT, "P1", 1)
+        text = str(event)
+        assert "fault" in text and "P1" in text
+
+
+class TestExecutionResult:
+    def _result(self):
+        return ExecutionResult(
+            completion_times={"A": 10, "B": 25},
+            dropped=frozenset({"C"}),
+            utility=42.0,
+            hard_misses=(),
+            faults_observed=1,
+            switches=(3,),
+            makespan=25,
+            events=[
+                TraceEvent(0, EventKind.START, "A", 0),
+                TraceEvent(10, EventKind.COMPLETE, "A", 0),
+                TraceEvent(10, EventKind.SWITCH, "A", 3),
+            ],
+        )
+
+    def test_accessors(self):
+        result = self._result()
+        assert result.completed("A")
+        assert not result.completed("C")
+        assert result.completion_of("B") == 25
+        assert result.met_all_hard_deadlines
+
+    def test_completion_of_missing_raises(self):
+        with pytest.raises(RuntimeModelError):
+            self._result().completion_of("C")
+
+    def test_events_of_kind(self):
+        result = self._result()
+        assert len(result.events_of_kind(EventKind.START)) == 1
+        assert len(result.events_of_kind(EventKind.SWITCH)) == 1
+        assert result.events_of_kind(EventKind.DROP) == []
+
+    def test_str_mentions_status(self):
+        assert "OK" in str(self._result())
+        missed = ExecutionResult(hard_misses=("H",))
+        assert "DEADLINE MISS" in str(missed)

@@ -1,0 +1,98 @@
+"""Tests for the tree renderer and the expansion-order selection."""
+
+import pytest
+
+from repro.analysis.treeview import render_tree
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.quasistatic.similarity import (
+    find_most_similar_unexpanded,
+    similarity_to_tree,
+)
+from repro.quasistatic.tree import QSTree
+from repro.scheduling.ftss import ftss
+
+
+class TestRenderTree:
+    def test_single_node(self, fig1_app):
+        tree = QSTree(ftss(fig1_app))
+        text = render_tree(tree)
+        assert "[0]" in text
+        assert "P1+1" in text
+
+    def test_arcs_and_children(self, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=6))
+        text = render_tree(tree)
+        assert "after P1 in [" in text
+        # Every node appears.
+        for node in tree.nodes():
+            assert f"[{node.node_id}]" in text
+
+    def test_truncation(self, cc_app):
+        root = ftss(cc_app)
+        tree = QSTree(root)
+        text = render_tree(tree, max_entries=4)
+        assert "total)" in text
+
+    def test_fault_annotation(self):
+        from repro.workloads.suite import WorkloadSpec, generate_application
+
+        for seed in range(40):
+            app = generate_application(
+                WorkloadSpec(n_processes=10), seed=seed
+            )
+            root = ftss(app)
+            if root is None:
+                continue
+            tree = ftqs(app, root, FTQSConfig(max_schedules=8))
+            if any(n.assumed_faults for n in tree.nodes()):
+                text = render_tree(tree)
+                assert "assumes" in text
+                return
+        pytest.skip("no fault child found in the search budget")
+
+
+class TestExpansionOrder:
+    def test_no_unexpanded_returns_none(self, fig1_app):
+        tree = QSTree(ftss(fig1_app))
+        tree.root.expanded = True
+        assert find_most_similar_unexpanded(tree, 0) is None
+
+    def test_unexpanded_root_found(self, fig1_app):
+        tree = QSTree(ftss(fig1_app))
+        assert find_most_similar_unexpanded(tree, 0) is tree.root
+
+    def test_layer_filter(self, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=2))
+        # Layer 99 has no nodes at all.
+        assert find_most_similar_unexpanded(tree, 99) is None
+
+    def test_similarity_to_tree_bounds(self, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=6))
+        for node in tree.nodes():
+            value = similarity_to_tree(tree, node)
+            assert 0.0 <= value <= 1.0
+
+    def test_picks_most_similar(self, fig1_app):
+        """Among unexpanded candidates, the one most similar to the
+        existing tree is selected."""
+        root = ftss(fig1_app)
+        tree = QSTree(root)
+        same = ftss(
+            fig1_app, fault_budget=1, start_time=50, prior_completed=["P1"]
+        )
+        different = ftss(
+            fig1_app,
+            fault_budget=1,
+            start_time=200,
+            prior_completed=["P1"],
+        )
+        a = tree.add_child(tree.root_id, same, "P1", 0, layer=1)
+        b = tree.add_child(tree.root_id, different, "P1", 0, layer=1)
+        pick = find_most_similar_unexpanded(tree, 1)
+        assert pick in (a, b)
+        assert similarity_to_tree(tree, pick) >= similarity_to_tree(
+            tree, a if pick is b else b
+        ) - 1e-12

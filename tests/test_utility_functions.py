@@ -1,0 +1,176 @@
+"""Unit tests for time/utility functions (paper §2.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UtilityError
+from repro.utility.functions import (
+    ConstantUtility,
+    LinearUtility,
+    StepUtility,
+    TabulatedUtility,
+    utility_from_dict,
+)
+
+
+class TestStepUtility:
+    def test_values_between_steps(self):
+        fn = StepUtility(40, [(90, 20), (200, 10), (250, 0)])
+        assert fn(0) == 40
+        assert fn(90) == 40       # completing at the breakpoint earns it
+        assert fn(91) == 20
+        assert fn(200) == 20
+        assert fn(201) == 10
+        assert fn(251) == 0
+
+    def test_fig2a_example(self):
+        # Pa completes at 60 ms and earns 20 (paper Fig. 2a).
+        ua = StepUtility(40, [(40, 20), (80, 0)])
+        assert ua(60) == 20
+
+    def test_max_value_and_horizon(self):
+        fn = StepUtility(40, [(90, 20), (250, 0)])
+        assert fn.max_value() == 40
+        assert fn.horizon() == 250
+
+    def test_breakpoints_exact(self):
+        fn = StepUtility(40, [(90, 20), (250, 0)])
+        assert fn.breakpoints() == [90, 250]
+        assert fn.is_piecewise_constant()
+        for bp in fn.breakpoints():
+            assert fn(bp) != fn(bp + 1)
+
+    def test_increasing_steps_rejected(self):
+        with pytest.raises(UtilityError):
+            StepUtility(40, [(90, 20), (200, 30)])
+
+    def test_step_above_initial_rejected(self):
+        with pytest.raises(UtilityError):
+            StepUtility(40, [(90, 50)])
+
+    def test_non_monotone_times_rejected(self):
+        with pytest.raises(UtilityError):
+            StepUtility(40, [(90, 20), (90, 10)])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(UtilityError):
+            StepUtility(40, [(90, -5)])
+
+    def test_negative_time_call_rejected(self):
+        fn = StepUtility(40, [])
+        with pytest.raises(UtilityError):
+            fn(-1)
+
+    def test_equality_and_hash(self):
+        a = StepUtility(40, [(90, 20)])
+        b = StepUtility(40, [(90, 20)])
+        c = StepUtility(40, [(91, 20)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestLinearUtility:
+    def test_decay_and_clamp(self):
+        fn = LinearUtility(100, 2)
+        assert fn(0) == 100
+        assert fn(10) == 80
+        assert fn(50) == 0
+        assert fn(60) == 0
+
+    def test_zero_slope_constant(self):
+        fn = LinearUtility(10, 0)
+        assert fn(10_000) == 10
+        assert fn.horizon() == 0
+
+    def test_horizon(self):
+        assert LinearUtility(100, 2).horizon() == 50
+
+    def test_not_piecewise_constant(self):
+        assert not LinearUtility(10, 1).is_piecewise_constant()
+        assert LinearUtility(10, 1).breakpoints() == []
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(UtilityError):
+            LinearUtility(10, -1)
+
+
+class TestConstantUtility:
+    def test_with_cutoff(self):
+        fn = ConstantUtility(30, cutoff=100)
+        assert fn(100) == 30
+        assert fn(101) == 0
+
+    def test_without_cutoff(self):
+        fn = ConstantUtility(30)
+        assert fn(10**9) == 30
+        assert fn.breakpoints() == []
+
+    def test_breakpoint_is_cutoff(self):
+        fn = ConstantUtility(30, cutoff=100)
+        assert fn.breakpoints() == [100]
+
+
+class TestTabulatedUtility:
+    def test_step_semantics(self):
+        fn = TabulatedUtility([(0, 30), (50, 20), (120, 5)])
+        assert fn(0) == 30
+        assert fn(49) == 30
+        assert fn(50) == 20
+        assert fn(120) == 5
+
+    def test_breakpoints_describe_changes(self):
+        fn = TabulatedUtility([(0, 30), (50, 20), (120, 5)])
+        for bp in fn.breakpoints():
+            assert fn(bp) != fn(bp + 1)
+
+    def test_increasing_rejected(self):
+        with pytest.raises(UtilityError):
+            TabulatedUtility([(0, 10), (50, 20)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(UtilityError):
+            TabulatedUtility([])
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            StepUtility(40, [(90, 20), (250, 0)]),
+            LinearUtility(100, 2.5),
+            ConstantUtility(30, cutoff=100),
+            ConstantUtility(30),
+            TabulatedUtility([(0, 30), (50, 20)]),
+        ],
+    )
+    def test_to_from_dict(self, fn):
+        assert utility_from_dict(fn.to_dict()) == fn
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(UtilityError):
+            utility_from_dict({"type": "mystery"})
+
+
+@given(
+    initial=st.integers(min_value=0, max_value=1000),
+    steps=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=10_000),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        max_size=6,
+    ),
+    probe=st.lists(
+        st.integers(min_value=0, max_value=20_000), min_size=2, max_size=20
+    ),
+)
+def test_step_utility_non_increasing_property(initial, steps, probe):
+    """Any successfully constructed step utility is non-increasing."""
+    unique_steps = sorted({t: v for t, v in steps}.items())
+    values = sorted((v for _, v in unique_steps), reverse=True)
+    values = [min(v, initial) for v in values]
+    normalized = [(t, v) for (t, _), v in zip(unique_steps, values)]
+    fn = StepUtility(initial, normalized)
+    times = sorted(probe)
+    samples = [fn(t) for t in times]
+    assert all(a >= b for a, b in zip(samples, samples[1:]))

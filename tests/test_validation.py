@@ -1,0 +1,79 @@
+"""Tests for whole-application validation."""
+
+import pytest
+
+from repro.errors import ModelError, TimingError
+from repro.model.application import Application
+from repro.model.graph import ProcessGraph
+from repro.model.process import hard_process, soft_process
+from repro.model.validation import validate_application
+from repro.utility.functions import ConstantUtility, StepUtility
+
+
+def test_valid_application_passes(fig1_app, fig8_app, cc_app):
+    for app in (fig1_app, fig8_app, cc_app):
+        validate_application(app)  # must not raise
+
+
+def test_hopeless_hard_chain_rejected():
+    """A hard chain whose mandatory load exceeds the deadline is
+    caught before any heuristic runs."""
+    graph = ProcessGraph(
+        [
+            hard_process("A", 40, 60, 200),
+            hard_process("B", 40, 60, 100),  # must follow A: 120 + slack > 100
+        ],
+        [("A", "B")],
+        period=500,
+    )
+    app = Application(graph, period=500, k=1, mu=10)
+    with pytest.raises(TimingError):
+        validate_application(app)
+
+
+def test_soft_ancestors_do_not_count_toward_hard_chain():
+    """Soft predecessors can be dropped, so they impose no mandatory
+    load on a hard process's chain."""
+    graph = ProcessGraph(
+        [
+            soft_process("S", 80, 90, ConstantUtility(10)),
+            hard_process("H", 10, 20, 70),
+        ],
+        [("S", "H")],
+        period=300,
+    )
+    app = Application(graph, period=300, k=1, mu=10)
+    # H alone: 20 + 30 = 50 <= 70 even though S could never fit first.
+    validate_application(app)
+
+
+def test_k_faults_included_in_chain_bound():
+    graph = ProcessGraph(
+        [hard_process("A", 10, 40, 100)], [], period=300
+    )
+    # k = 2: 40 + 2 * 50 = 140 > 100.
+    app = Application(graph, period=300, k=2, mu=10)
+    with pytest.raises(TimingError):
+        validate_application(app)
+    # k = 1: 40 + 50 = 90 <= 100.
+    ok = Application(graph, period=300, k=1, mu=10)
+    validate_application(ok)
+
+
+def test_implausible_utility_horizon_rejected():
+    graph = ProcessGraph(
+        [
+            soft_process(
+                "S", 10, 20, StepUtility(10, [(100_000, 0)])
+            )
+        ],
+        [],
+        period=100,
+    )
+    app = Application(graph, period=100, k=0, mu=0)
+    with pytest.raises(ModelError):
+        validate_application(app)
+
+
+def test_validate_method_delegates(fig1_app):
+    fig1_app.validate()  # Application.validate() wraps the same checks

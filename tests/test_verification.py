@@ -1,0 +1,125 @@
+"""Tests for the exhaustive deadline-guarantee verifier."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.evaluation.verification import (
+    Counterexample,
+    combination_count,
+    corner_time_vectors,
+    verify_all_reachable_schedules,
+    verify_deadline_guarantee,
+)
+from repro.model.application import Application
+from repro.model.graph import ProcessGraph
+from repro.model.process import hard_process, soft_process
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+from repro.scheduling.ftss import ftss
+from repro.utility.functions import ConstantUtility
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+
+class TestCombinatorics:
+    def test_corner_vectors_fig1(self, fig1_app):
+        vectors = list(corner_time_vectors(fig1_app))
+        assert len(vectors) == 8  # 2^3 corners
+        assert {"P1": 30, "P2": 30, "P3": 40} in vectors
+        assert {"P1": 70, "P2": 70, "P3": 80} in vectors
+
+    def test_combination_count(self, fig1_app):
+        # 8 corners x 4 fault scenarios (none, P1, P2, P3).
+        assert combination_count(fig1_app) == 32
+
+    def test_degenerate_process_counts_once(self):
+        graph = ProcessGraph(
+            [hard_process("H", 20, 20, 100)], [], period=200
+        )
+        app = Application(graph, period=200, k=0, mu=0)
+        assert combination_count(app) == 1
+
+
+class TestExhaustiveVerification:
+    def test_fig1_ftss_verified(self, fig1_app):
+        report = verify_deadline_guarantee(fig1_app, ftss(fig1_app))
+        assert report.ok
+        assert report.combinations_checked == 32
+
+    def test_fig1_tree_verified(self, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=6))
+        report = verify_deadline_guarantee(fig1_app, tree)
+        assert report.ok
+
+    def test_fig8_tree_verified(self, fig8_app):
+        root = ftss(fig8_app)
+        tree = ftqs(fig8_app, root, FTQSConfig(max_schedules=6))
+        report = verify_deadline_guarantee(fig8_app, tree)
+        assert report.ok
+
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_small_generated_apps_verified(self, seed):
+        app = generate_application(
+            WorkloadSpec(n_processes=7, k=2), seed=seed
+        )
+        root = ftss(app)
+        assert root is not None
+        tree = ftqs(app, root, FTQSConfig(max_schedules=4))
+        report = verify_deadline_guarantee(app, tree)
+        assert report.ok, str(report.counterexample)
+
+    def test_finds_counterexample_in_bogus_schedule(self):
+        """Hand-build an unsafe schedule: the verifier must produce a
+        concrete counterexample."""
+        graph = ProcessGraph(
+            [
+                soft_process("S", 30, 60, ConstantUtility(10)),
+                hard_process("H", 30, 60, 70),
+            ],
+            [],
+            period=200,
+        )
+        app = Application(graph, period=200, k=1, mu=5)
+        bogus = FSchedule(
+            app,
+            [ScheduledEntry("S", 0), ScheduledEntry("H", 1)],
+        )
+        assert not bogus.is_schedulable()  # static analysis knows
+        report = verify_deadline_guarantee(app, bogus)
+        assert not report.ok
+        assert isinstance(report.counterexample, Counterexample)
+        assert "H" in report.counterexample.missed
+
+    def test_limit_enforced(self, cc_app):
+        with pytest.raises(ModelError):
+            verify_deadline_guarantee(cc_app, ftss(cc_app), limit=10)
+
+
+class TestReachableScheduleCheck:
+    def test_generated_trees_have_safe_arcs(self, fig1_app, fig8_app):
+        for app in (fig1_app, fig8_app):
+            root = ftss(app)
+            tree = ftqs(app, root, FTQSConfig(max_schedules=8))
+            assert verify_all_reachable_schedules(app, tree) == []
+
+    def test_detects_unsafe_arc(self, fig1_app):
+        from repro.quasistatic.tree import QSTree, SwitchArc
+
+        root = ftss(fig1_app)
+        tree = QSTree(root)
+        tail = ftss(
+            fig1_app, fault_budget=1, start_time=30, prior_completed=["P1"]
+        )
+        child = tree.add_child(
+            tree.root_id, tail, switch_process="P1", assumed_faults=0, layer=1
+        )
+        # Arc admits switching far too late for the tail to stay safe.
+        tree.add_arc(
+            tree.root_id,
+            SwitchArc(
+                "P1", lo=30, hi=290, required_faults=0, target=child.node_id
+            ),
+        )
+        assert verify_all_reachable_schedules(fig1_app, tree) == [
+            child.node_id
+        ]

@@ -1,0 +1,204 @@
+"""Tests for the workload generators and the cruise controller."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.scheduling.ftss import ftss
+from repro.workloads.deadlines import (
+    assign_deadlines,
+    assign_period,
+    hard_only_bounds,
+)
+from repro.workloads.exec_times import TimingSpec, draw_execution_times
+from repro.workloads.random_dags import fanin_fanout_dag, layered_dag, random_dag
+from repro.workloads.suite import WorkloadSpec, generate_application, generate_suite
+from repro.workloads.utility_gen import step_utility_for_range
+
+
+class TestRandomDags:
+    @pytest.mark.parametrize("n", [1, 5, 17, 40])
+    def test_layered_is_dag_with_n_nodes(self, n, rng):
+        dag = layered_dag(n, rng)
+        assert dag.number_of_nodes() == n
+        assert nx.is_directed_acyclic_graph(dag)
+
+    @pytest.mark.parametrize("n", [1, 5, 17, 40])
+    def test_fanin_fanout_is_dag_with_n_nodes(self, n, rng):
+        dag = fanin_fanout_dag(n, rng)
+        assert dag.number_of_nodes() == n
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_layered_weakly_connected(self, rng):
+        dag = layered_dag(25, rng)
+        assert nx.is_weakly_connected(dag)
+
+    def test_dispatch(self, rng):
+        assert random_dag(5, rng, structure="layered").number_of_nodes() == 5
+        assert (
+            random_dag(5, rng, structure="fanin_fanout").number_of_nodes() == 5
+        )
+        with pytest.raises(ModelError):
+            random_dag(5, rng, structure="mystery")
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ModelError):
+            layered_dag(0, rng)
+        with pytest.raises(ModelError):
+            fanin_fanout_dag(0, rng)
+        with pytest.raises(ModelError):
+            layered_dag(5, rng, edge_probability=1.5)
+
+
+class TestExecTimes:
+    def test_paper_distribution_bounds(self, rng):
+        times = draw_execution_times(range(200), rng)
+        for bcet, wcet in times.values():
+            assert 10 <= wcet <= 100
+            assert 1 <= bcet <= wcet
+
+    def test_custom_spec(self, rng):
+        spec = TimingSpec(wcet_min=50, wcet_max=60)
+        times = draw_execution_times(range(50), rng, spec)
+        assert all(50 <= w <= 60 for _, w in times.values())
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ModelError):
+            TimingSpec(wcet_min=0)
+        with pytest.raises(ModelError):
+            TimingSpec(bcet_fraction_min=0.9, bcet_fraction_max=0.1)
+
+
+class TestUtilityGen:
+    def test_discriminates_range(self, rng):
+        fn = step_utility_for_range(50, 400, rng)
+        assert fn.max_value() >= 20
+        # Function must actually decrease inside the range.
+        assert fn(50) > fn(10_000)
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(ModelError):
+            step_utility_for_range(100, 50, rng)
+
+
+class TestDeadlines:
+    def test_hard_only_bounds_monotone(self):
+        topo = ["A", "B", "C"]
+        wcet = {"A": 10, "B": 20, "C": 30}
+        need = {"A": 15, "B": 25, "C": 35}
+        bounds = hard_only_bounds(topo, ["A", "C"], wcet, need, k=1)
+        assert set(bounds) == {"A", "C"}
+        assert bounds["A"] < bounds["C"]
+
+    def test_bound_includes_recovery(self):
+        bounds = hard_only_bounds(["A"], ["A"], {"A": 10}, {"A": 15}, k=2)
+        assert bounds["A"] == 10 + 2 * 15
+
+    def test_assign_deadlines_clipped(self):
+        deadlines = assign_deadlines({"A": 100}, laxity=3.0, period=200)
+        assert deadlines["A"] == 200
+
+    def test_assign_deadlines_requires_laxity(self):
+        with pytest.raises(ModelError):
+            assign_deadlines({"A": 100}, laxity=0.5, period=200)
+
+    def test_assign_period(self):
+        assert assign_period(100, 20, 2, pressure=1.0, min_period=10) == 140
+        assert assign_period(100, 20, 2, pressure=0.5, min_period=100) == 100
+        with pytest.raises(ModelError):
+            assign_period(100, 20, 2, pressure=0, min_period=1)
+
+
+class TestGenerateApplication:
+    def test_counts_and_parameters(self):
+        app = generate_application(
+            WorkloadSpec(n_processes=20, soft_ratio=0.5, k=3, mu=15), seed=1
+        )
+        assert len(app) == 20
+        assert app.k == 3 and app.mu == 15
+        assert len(app.soft) == 10
+
+    def test_always_schedulable(self):
+        """Deadlines derive from hard-only bounds with laxity >= 1, so
+        FTSS must always find a schedule."""
+        for seed in range(8):
+            app = generate_application(WorkloadSpec(n_processes=15), seed=seed)
+            assert ftss(app) is not None
+
+    def test_seed_determinism(self):
+        a = generate_application(WorkloadSpec(n_processes=15), seed=4)
+        b = generate_application(WorkloadSpec(n_processes=15), seed=4)
+        assert [p.name for p in a.processes] == [p.name for p in b.processes]
+        assert [(p.bcet, p.wcet) for p in a.processes] == [
+            (p.bcet, p.wcet) for p in b.processes
+        ]
+        assert a.period == b.period
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_validation_passes(self):
+        app = generate_application(WorkloadSpec(n_processes=25), seed=3)
+        app.validate()  # must not raise
+
+    def test_soft_ratio_extremes(self):
+        all_soft = generate_application(
+            WorkloadSpec(n_processes=10, soft_ratio=1.0), seed=5
+        )
+        assert len(all_soft.soft) == 10
+        all_hard = generate_application(
+            WorkloadSpec(n_processes=10, soft_ratio=0.0), seed=5
+        )
+        assert len(all_hard.hard) == 10
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ModelError):
+            WorkloadSpec(n_processes=0)
+        with pytest.raises(ModelError):
+            WorkloadSpec(soft_ratio=1.5)
+        with pytest.raises(ModelError):
+            WorkloadSpec(k=-1)
+
+    def test_generate_suite_shape(self):
+        suite = generate_suite(sizes=(10, 15), apps_per_size=2, seed=9)
+        assert set(suite) == {10, 15}
+        assert all(len(apps) == 2 for apps in suite.values())
+        assert all(len(app) == 10 for app in suite[10])
+
+
+class TestCruiseController:
+    def test_paper_parameters(self, cc_app):
+        assert len(cc_app) == 32
+        assert len(cc_app.hard) == 9
+        assert len(cc_app.soft) == 23
+        assert cc_app.k == 2
+
+    def test_mu_is_ten_percent_of_wcet(self, cc_app):
+        for proc in cc_app.processes:
+            mu = cc_app.recovery_overhead(proc.name)
+            assert mu == max(1, -(-proc.wcet // 10))  # ceil(wcet/10)
+
+    def test_schedulable(self, cc_app):
+        schedule = ftss(cc_app)
+        assert schedule is not None
+        assert schedule.is_schedulable()
+
+    def test_hard_path_is_connected_pipeline(self, cc_app):
+        graph = cc_app.graph
+        # The control path reaches the actuators.
+        assert "Watchdog" in graph.descendants("SpeedAcq")
+        assert "BrakeCmd" in graph.descendants("PIController")
+
+    def test_deterministic(self):
+        from repro.workloads.cruise import cruise_controller
+
+        a = cruise_controller()
+        b = cruise_controller()
+        assert a.period == b.period
+        assert [p.name for p in a.processes] == [p.name for p in b.processes]
+
+    def test_overload_forces_dropping(self, cc_app):
+        """The period pressure < 1 means the worst case cannot hold
+        every process: the root schedule drops some soft processes."""
+        schedule = ftss(cc_app)
+        assert cc_app.worst_case_load() > cc_app.period
+        assert len(schedule.dropped) > 0
