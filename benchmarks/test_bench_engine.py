@@ -1,0 +1,92 @@
+"""Throughput benchmark: reference loop vs batched engine.
+
+Measures scenarios/second of both Monte-Carlo engines on the
+cruise-controller workload (the paper's real-life case study) over the
+*same* scenario sets, asserts the results are bit-identical, and
+asserts the batched engine clears a 5x speedup on the no-fault axis at
+2,000 scenarios — the floor that makes the paper's 20,000-scenario
+``--full-scale`` runs practical.  The mixed-fault axis (where faulted
+soft processes route through the oracle) is reported without a floor:
+its speedup depends on how many scenarios the fast path can keep.
+"""
+
+import time
+
+import pytest
+
+from repro.evaluation.montecarlo import MonteCarloEvaluator
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.scheduling.ftss import ftss
+from repro.workloads.cruise import cruise_controller
+
+
+@pytest.fixture(scope="module")
+def cc_setup():
+    app = cruise_controller()
+    root = ftss(app)
+    assert root is not None
+    tree = ftqs(app, root, FTQSConfig(max_schedules=8))
+    return app, root, tree
+
+
+def _time_engine(evaluator, plan, engine, rounds=2):
+    """Best-of-``rounds`` wall time (min damps scheduler noise on
+    loaded boxes).  The batch cache is cleared before every batched
+    round so each one pays the full end-to-end cost, packing included."""
+    best = None
+    outcomes = None
+    for _ in range(rounds):
+        evaluator._batches.clear()
+        start = time.perf_counter()
+        outcomes = evaluator.evaluate(plan, engine=engine)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return outcomes, best
+
+
+def _report(label, n_scenarios, n_axes, t_ref, t_bat):
+    total = n_scenarios * n_axes
+    print(
+        f"\n[{label}] reference {total / t_ref:,.0f} scen/s "
+        f"({t_ref:.3f}s)  batched {total / t_bat:,.0f} scen/s "
+        f"({t_bat:.3f}s)  speedup {t_ref / t_bat:.1f}x"
+    )
+
+
+def test_engine_speedup_no_fault_axis(cc_setup, full_scale):
+    """>= 5x scenarios/sec on the cruise controller, 2,000 scenarios."""
+    app, root, tree = cc_setup
+    n = 20000 if full_scale else 2000
+    evaluator = MonteCarloEvaluator(
+        app, n_scenarios=n, fault_counts=[0], seed=11
+    )
+    for plan_label, plan in (("ftss", root), ("ftqs-8", tree)):
+        by_reference, t_ref = _time_engine(evaluator, plan, "reference")
+        by_batch, t_bat = _time_engine(evaluator, plan, "batched")
+        assert by_reference[0].utilities == by_batch[0].utilities
+        assert by_reference[0].mean_utility == by_batch[0].mean_utility
+        _report(f"cc/{plan_label}/f=0", n, 1, t_ref, t_bat)
+        speedup = t_ref / t_bat
+        assert speedup >= 5.0, (
+            f"batched engine only {speedup:.1f}x over the reference "
+            f"loop on {plan_label} (floor: 5x)"
+        )
+
+
+def test_engine_speedup_mixed_fault_axes(cc_setup, full_scale):
+    """Mixed 0/1/2-fault axes: identical results, reported speedup."""
+    app, _, tree = cc_setup
+    n = 20000 if full_scale else 1000
+    evaluator = MonteCarloEvaluator(
+        app, n_scenarios=n, fault_counts=[0, 1, 2], seed=11
+    )
+    by_reference, t_ref = _time_engine(evaluator, tree, "reference")
+    by_batch, t_bat = _time_engine(evaluator, tree, "batched")
+    for faults in (0, 1, 2):
+        assert (
+            by_reference[faults].utilities == by_batch[faults].utilities
+        )
+    _report("cc/ftqs-8/f=0,1,2", n, 3, t_ref, t_bat)
+    # Oracle-heavy axes must not *lose* to the reference loop; allow a
+    # timing-noise margin — the hard floor lives on the no-fault axis.
+    assert t_bat < t_ref * 1.25

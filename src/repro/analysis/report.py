@@ -118,6 +118,8 @@ def synthesis_report(
     max_schedules: int = 8,
     n_scenarios: int = 200,
     seed: int = 1,
+    engine: str = "batched",
+    jobs: int = 1,
 ) -> SynthesisReport:
     """Run the full pipeline on ``app`` and assemble the report."""
     root = ftss(app)
@@ -130,7 +132,9 @@ def synthesis_report(
     plans = {"FTQS": tree, "FTSS": root}
     if baseline is not None:
         plans["FTSF"] = baseline
-    evaluator = MonteCarloEvaluator(app, n_scenarios=n_scenarios, seed=seed)
+    evaluator = MonteCarloEvaluator(
+        app, n_scenarios=n_scenarios, seed=seed, engine=engine, jobs=jobs
+    )
     results = evaluator.compare(plans)
     utilities = normalized_to(results, "FTQS", reference_faults=0)
     return SynthesisReport(

@@ -46,6 +46,8 @@ class AblationConfig:
     seed: int = 2008
     include_replanner: bool = True
     replanner_scenarios: int = 10
+    engine: str = "batched"
+    jobs: int = 1
 
 
 #: Configurations attempted per application; used to report how often
@@ -132,6 +134,8 @@ def run_ablations(config: AblationConfig = AblationConfig()) -> List[AblationRow
             n_scenarios=config.n_scenarios,
             fault_counts=list(range(config.k + 1)),
             seed=config.seed + produced,
+            engine=config.engine,
+            jobs=config.jobs,
         )
         results = evaluator.compare(plans)
         base = results["ftss-default"]

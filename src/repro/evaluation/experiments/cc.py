@@ -30,6 +30,8 @@ class CCConfig:
     max_schedules: int = 39
     n_scenarios: int = 300
     seed: int = 2008
+    engine: str = "batched"
+    jobs: int = 1
 
     @classmethod
     def paper_scale(cls) -> "CCConfig":
@@ -90,6 +92,8 @@ def run_cc(config: CCConfig = CCConfig()) -> CCReport:
         n_scenarios=config.n_scenarios,
         fault_counts=[0, 1, 2],
         seed=config.seed,
+        engine=config.engine,
+        jobs=config.jobs,
     )
     results = evaluator.compare(
         {"FTQS": tree, "FTSS": root, "FTSF": baseline}

@@ -41,6 +41,8 @@ class SweepConfig:
     mu: int = 15
     seed: int = 2008
     period_pressure: Tuple[float, float] = (0.75, 0.95)
+    engine: str = "batched"
+    jobs: int = 1
 
 
 @dataclass
@@ -77,6 +79,8 @@ def _evaluate_point(
             n_scenarios=config.n_scenarios,
             fault_counts=fault_counts,
             seed=config.seed + produced,
+            engine=config.engine,
+            jobs=config.jobs,
         )
         results = evaluator.compare({"tree": tree, "root": root})
         base = results["root"][0].mean_utility

@@ -36,6 +36,8 @@ class Table1Config:
     k: int = 3
     mu: int = 15
     seed: int = 2008
+    engine: str = "batched"
+    jobs: int = 1
 
     @classmethod
     def paper_scale(cls) -> "Table1Config":
@@ -72,6 +74,8 @@ def run_table1(config: Table1Config = Table1Config()) -> List[Table1Row]:
             n_scenarios=config.n_scenarios,
             fault_counts=list(range(config.k + 1)),
             seed=config.seed + len(apps),
+            engine=config.engine,
+            jobs=config.jobs,
         )
         baseline = evaluator.evaluate(root)
         if baseline[0].mean_utility <= 0:

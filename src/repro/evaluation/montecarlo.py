@@ -6,12 +6,28 @@ uniformly from [BCET, WCET].  Crucially, the *same* scenarios are
 replayed against every approach — the comparison is paired — which is
 what :class:`MonteCarloEvaluator` implements: scenarios are generated
 once per (application, fault count) and each plan runs them all.
+
+Two interchangeable engines execute the replay:
+
+* ``engine="reference"`` — the pure-Python
+  :class:`~repro.runtime.online.OnlineScheduler` event loop, one
+  scenario at a time (the behavioral oracle);
+* ``engine="batched"`` — the array-based
+  :class:`~repro.runtime.engine.simulator.BatchSimulator`, which packs
+  each scenario set into a :class:`ScenarioBatch` and is bit-identical
+  to the oracle (see ``tests/test_engine_differential.py``) while an
+  order of magnitude faster.
+
+``jobs > 1`` additionally shards the scenario range across
+``multiprocessing`` workers via
+:class:`~repro.runtime.engine.parallel.ParallelEvaluator`; sharding is
+deterministic and outcome-preserving for any job count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,10 +35,26 @@ from repro.errors import RuntimeModelError
 from repro.faults.injection import ExecutionScenario, ScenarioSampler
 from repro.model.application import Application
 from repro.quasistatic.tree import QSTree
+from repro.runtime.engine.batch import ScenarioBatch
+from repro.runtime.engine.simulator import BatchSimulator
 from repro.runtime.online import OnlineScheduler
 from repro.scheduling.fschedule import FSchedule
 
 Plan = Union[QSTree, FSchedule]
+
+#: Raw simulation of one scenario set:
+#: (per-scenario utilities, deadline misses, total switches, total faults).
+RawOutcome = Tuple[List[float], int, int, int]
+
+ENGINES = ("reference", "batched")
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise RuntimeModelError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
 
 
 @dataclass
@@ -40,6 +72,34 @@ class EvaluationOutcome:
         """True when no simulated cycle missed a hard deadline."""
         return self.deadline_misses == 0
 
+    @classmethod
+    def aggregate(
+        cls,
+        utilities: Sequence[float],
+        deadline_misses: int,
+        total_switches: int,
+        total_faults: int,
+    ) -> "EvaluationOutcome":
+        """Aggregate per-scenario results into one outcome.
+
+        Raises :class:`RuntimeModelError` on an empty scenario set —
+        the per-scenario means are undefined, and silently returning
+        zeros would poison every normalization downstream.
+        """
+        count = len(utilities)
+        if count == 0:
+            raise RuntimeModelError(
+                "cannot aggregate an empty scenario set; every fault "
+                "count needs at least one scenario"
+            )
+        return cls(
+            mean_utility=float(np.mean(utilities)),
+            utilities=list(utilities),
+            deadline_misses=deadline_misses,
+            mean_switches=total_switches / count,
+            mean_faults=total_faults / count,
+        )
+
 
 class MonteCarloEvaluator:
     """Paired Monte-Carlo comparison of scheduling approaches.
@@ -53,9 +113,16 @@ class MonteCarloEvaluator:
         values keep the benches fast and the flag
         ``--full-scale`` restores the paper's number).
     fault_counts:
-        Which fault counts to evaluate (default 0..k).
+        Which fault counts to evaluate (default 0..k); must be
+        non-empty.
     seed:
         Seed of the scenario sampler.
+    engine:
+        ``"reference"`` (the oracle event loop) or ``"batched"`` (the
+        array engine); results are identical, only speed differs.
+    jobs:
+        Worker processes; ``1`` runs in-process, more shard the
+        scenario range deterministically.
     """
 
     def __init__(
@@ -64,15 +131,27 @@ class MonteCarloEvaluator:
         n_scenarios: int = 200,
         fault_counts: Optional[Sequence[int]] = None,
         seed: int = 1,
+        engine: str = "reference",
+        jobs: int = 1,
     ):
         if n_scenarios < 1:
             raise RuntimeModelError("need at least one scenario")
+        if jobs < 1:
+            raise RuntimeModelError(f"jobs must be positive, got {jobs}")
         self.app = app
+        self.n_scenarios = int(n_scenarios)
+        self.seed = seed
+        self.engine = _check_engine(engine)
+        self.jobs = int(jobs)
         self.fault_counts = (
             list(fault_counts)
             if fault_counts is not None
             else list(range(app.k + 1))
         )
+        if not self.fault_counts:
+            raise RuntimeModelError(
+                "need at least one fault count to evaluate"
+            )
         # Couple the fault-count axes: the i-th scenario of every fault
         # count shares the same execution-time draws, differing only in
         # the fault pattern.  Cross-fault-count comparisons ("utility
@@ -102,34 +181,113 @@ class MonteCarloEvaluator:
                 ExecutionScenario(durations, pattern)
                 for durations, pattern in zip(duration_sets, patterns)
             ]
+        self._batches: Dict[int, ScenarioBatch] = {}
 
-    def evaluate(self, plan: Plan) -> Dict[int, EvaluationOutcome]:
+    # ------------------------------------------------------------------
+    # Simulation primitives (shared by in-process and sharded paths)
+    # ------------------------------------------------------------------
+    def _batch_for(self, faults: int) -> ScenarioBatch:
+        """The packed form of one scenario set (cached per fault count)."""
+        batch = self._batches.get(faults)
+        if batch is None:
+            batch = ScenarioBatch.from_scenarios(
+                self.app, self.scenarios[faults]
+            )
+            self._batches[faults] = batch
+        return batch
+
+    @staticmethod
+    def _reference_raw(
+        scheduler: OnlineScheduler, scenarios: Sequence[ExecutionScenario]
+    ) -> RawOutcome:
+        utilities: List[float] = []
+        misses = 0
+        switches = 0
+        observed = 0
+        for scenario in scenarios:
+            result = scheduler.run(scenario)
+            utilities.append(result.utility)
+            if not result.met_all_hard_deadlines:
+                misses += 1
+            switches += len(result.switches)
+            observed += result.faults_observed
+        return utilities, misses, switches, observed
+
+    @staticmethod
+    def _batched_raw(
+        simulator: BatchSimulator, batch: ScenarioBatch
+    ) -> RawOutcome:
+        result = simulator.run_batch(batch)
+        return (
+            [float(u) for u in result.utilities],
+            int(result.deadline_miss.sum()),
+            int(result.switch_counts.sum()),
+            int(result.faults_observed.sum()),
+        )
+
+    def simulate_raw(
+        self,
+        plan: Plan,
+        scenarios: Sequence[ExecutionScenario],
+        engine: Optional[str] = None,
+    ) -> RawOutcome:
+        """Simulate an explicit scenario list; returns raw counts.
+
+        The building block :class:`ParallelEvaluator` workers call on
+        their shard slices.
+        """
+        engine = self.engine if engine is None else _check_engine(engine)
+        if engine == "batched":
+            return self._batched_raw(
+                BatchSimulator(self.app, plan),
+                ScenarioBatch.from_scenarios(self.app, scenarios),
+            )
+        return self._reference_raw(
+            OnlineScheduler(self.app, plan, record_events=False), scenarios
+        )
+
+    # ------------------------------------------------------------------
+    # Public evaluation API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        plan: Plan,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+    ) -> Dict[int, EvaluationOutcome]:
         """Run all scenario sets against ``plan``.
 
         Returns one :class:`EvaluationOutcome` per fault count.
+        ``engine``/``jobs`` override the evaluator-wide settings for
+        this call (the benches use this to time both engines on the
+        same scenario sets).
         """
-        scheduler = OnlineScheduler(self.app, plan, record_events=False)
+        engine = self.engine if engine is None else _check_engine(engine)
+        jobs = self.jobs if jobs is None else int(jobs)
+        if jobs < 1:
+            raise RuntimeModelError(f"jobs must be positive, got {jobs}")
+        if jobs > 1:
+            from repro.runtime.engine.parallel import ParallelEvaluator
+
+            return ParallelEvaluator(
+                self.app,
+                n_scenarios=self.n_scenarios,
+                fault_counts=self.fault_counts,
+                seed=self.seed,
+                engine=engine,
+                jobs=jobs,
+            ).evaluate(plan)
         outcomes: Dict[int, EvaluationOutcome] = {}
-        for faults, scenarios in self.scenarios.items():
-            utilities: List[float] = []
-            misses = 0
-            switches = 0
-            observed = 0
-            for scenario in scenarios:
-                result = scheduler.run(scenario)
-                utilities.append(result.utility)
-                if not result.met_all_hard_deadlines:
-                    misses += 1
-                switches += len(result.switches)
-                observed += result.faults_observed
-            count = len(scenarios)
-            outcomes[faults] = EvaluationOutcome(
-                mean_utility=float(np.mean(utilities)) if utilities else 0.0,
-                utilities=utilities,
-                deadline_misses=misses,
-                mean_switches=switches / count,
-                mean_faults=observed / count,
-            )
+        if engine == "batched":
+            simulator = BatchSimulator(self.app, plan)
+            for faults in self.fault_counts:
+                raw = self._batched_raw(simulator, self._batch_for(faults))
+                outcomes[faults] = EvaluationOutcome.aggregate(*raw)
+        else:
+            scheduler = OnlineScheduler(self.app, plan, record_events=False)
+            for faults in self.fault_counts:
+                raw = self._reference_raw(scheduler, self.scenarios[faults])
+                outcomes[faults] = EvaluationOutcome.aggregate(*raw)
         return outcomes
 
     def compare(
@@ -151,6 +309,11 @@ def normalized_to(
     """
     if reference not in results:
         raise RuntimeModelError(f"unknown reference approach {reference!r}")
+    if reference_faults not in results[reference]:
+        raise RuntimeModelError(
+            f"reference approach {reference!r} has no outcome for "
+            f"{reference_faults} faults"
+        )
     base = results[reference][reference_faults].mean_utility
     if base <= 0:
         raise RuntimeModelError(

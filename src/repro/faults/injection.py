@@ -124,6 +124,10 @@ class ScenarioSampler:
     def rng(self) -> np.random.Generator:
         return self._rng
 
+    @property
+    def app(self) -> Application:
+        return self._app
+
     def sample_durations(self, max_attempts: int) -> Dict[str, List[int]]:
         """Uniform [BCET, WCET] draws for up to ``max_attempts`` attempts."""
         durations: Dict[str, List[int]] = {}
@@ -157,3 +161,15 @@ class ScenarioSampler:
     def sample_many(self, count: int, faults: int = 0) -> List[ExecutionScenario]:
         """``count`` independent scenarios with exactly ``faults`` faults."""
         return [self.sample(faults) for _ in range(count)]
+
+    def sample_batch(self, count: int, faults: int = 0) -> "ScenarioBatch":
+        """``count`` scenarios packed into arrays for the batched engine.
+
+        Makes the same RNG calls in the same order as
+        :meth:`sample_many`, so the arrays are byte-identical to the
+        packed form of the per-scenario draws (see
+        :class:`repro.runtime.engine.batch.ScenarioBatch`).
+        """
+        from repro.runtime.engine.batch import ScenarioBatch
+
+        return ScenarioBatch.sample(self, count, faults)

@@ -1,0 +1,52 @@
+"""Batched Monte-Carlo simulation engine.
+
+The reference :class:`~repro.runtime.online.OnlineScheduler` replays
+one :class:`~repro.faults.injection.ExecutionScenario` at a time
+through a pure-Python event loop — correct, traceable, and far too
+slow for the paper's 20,000-scenario evaluations.  This package keeps
+that scheduler as the *behavioral oracle* and adds a batched engine on
+top of it:
+
+* :mod:`repro.runtime.engine.batch` — :class:`ScenarioBatch` packs the
+  durations and fault patterns of a whole scenario set into NumPy
+  arrays (and :meth:`ScenarioSampler.sample_batch` draws one directly,
+  byte-identical to the per-scenario sampler);
+* :mod:`repro.runtime.engine.compile` — a :class:`QSTree` or
+  :class:`FSchedule` is compiled into integer-indexed process tables
+  and per-node arc tables;
+* :mod:`repro.runtime.engine.simulator` — :class:`BatchSimulator`
+  executes the compiled plan over whole batches with array operations,
+  falling back to the oracle only for the scenarios whose soft-process
+  fault handling needs the full decision logic;
+* :mod:`repro.runtime.engine.parallel` — :class:`ParallelEvaluator`
+  shards scenario sets across ``multiprocessing`` workers with
+  deterministic per-shard seeding and merges the outcomes.
+
+Every fast path is bit-identical to the oracle (asserted by
+``tests/test_engine_differential.py``): utilities are accumulated in
+the oracle's completion order with the same IEEE-754 operations, so
+``--engine batched`` changes run time, never results.
+"""
+
+from repro.runtime.engine.batch import ScenarioBatch
+from repro.runtime.engine.compile import (
+    CompiledApplication,
+    CompiledNode,
+    CompiledTree,
+    compile_application,
+    compile_tree,
+)
+from repro.runtime.engine.parallel import ParallelEvaluator
+from repro.runtime.engine.simulator import BatchResult, BatchSimulator
+
+__all__ = [
+    "BatchResult",
+    "BatchSimulator",
+    "CompiledApplication",
+    "CompiledNode",
+    "CompiledTree",
+    "ParallelEvaluator",
+    "ScenarioBatch",
+    "compile_application",
+    "compile_tree",
+]

@@ -1,0 +1,138 @@
+"""Sharded Monte-Carlo evaluation across ``multiprocessing`` workers.
+
+:class:`ParallelEvaluator` splits the scenario index range of a
+Monte-Carlo evaluation into contiguous shards, one per job.  Every
+worker re-derives the *complete* scenario sets from the same master
+seed — deterministic per-shard seeding: shard boundaries select which
+slice a worker simulates, never which random draws it makes — then
+simulates only its slice and ships back raw per-scenario arrays.  The
+parent concatenates the shards in index order, so the merged
+:class:`~repro.evaluation.montecarlo.EvaluationOutcome` per fault
+count is identical to a single-process run, for any job count.
+
+Re-deriving scenarios in the workers keeps the task payload small (an
+application, a plan and four integers) and sidesteps any question of
+RNG state hand-off; sampling is a negligible fraction of simulation
+time.  Workers default to the batched engine but honour
+``engine="reference"`` for differential measurements.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RuntimeModelError
+
+#: One shard's raw result per fault count:
+#: (utilities, misses, total switches, total observed faults).
+_ShardRaw = Dict[int, Tuple[List[float], int, int, int]]
+
+
+def _simulate_shard(payload) -> _ShardRaw:
+    """Worker entry point: simulate scenarios ``[lo, hi)`` of each set.
+
+    Imports lazily so the module stays importable from
+    ``repro.runtime`` without dragging the evaluation package in at
+    import time (and to keep the function picklable by name).
+    """
+    app, plan, n_scenarios, fault_counts, seed, engine, lo, hi = payload
+    from repro.evaluation.montecarlo import MonteCarloEvaluator
+
+    evaluator = MonteCarloEvaluator(
+        app,
+        n_scenarios=n_scenarios,
+        fault_counts=fault_counts,
+        seed=seed,
+        engine=engine,
+        jobs=1,
+    )
+    return {
+        faults: evaluator.simulate_raw(plan, scenarios[lo:hi])
+        for faults, scenarios in evaluator.scenarios.items()
+    }
+
+
+class ParallelEvaluator:
+    """Deterministic sharded version of the Monte-Carlo evaluation.
+
+    Parameters mirror :class:`MonteCarloEvaluator`, plus ``jobs`` (the
+    worker count) and ``engine`` (which simulator each worker runs).
+    ``evaluate`` returns the same ``{fault count: EvaluationOutcome}``
+    mapping a single-process evaluator produces.
+    """
+
+    def __init__(
+        self,
+        app,
+        n_scenarios: int = 200,
+        fault_counts: Optional[Sequence[int]] = None,
+        seed: int = 1,
+        engine: str = "batched",
+        jobs: int = 2,
+    ):
+        if jobs < 1:
+            raise RuntimeModelError(f"jobs must be positive, got {jobs}")
+        self.app = app
+        self.n_scenarios = n_scenarios
+        self.fault_counts = (
+            list(fault_counts)
+            if fault_counts is not None
+            else list(range(app.k + 1))
+        )
+        self.seed = seed
+        self.engine = engine
+        self.jobs = jobs
+
+    def _shard_bounds(self) -> List[Tuple[int, int]]:
+        """Contiguous, near-equal scenario ranges, one per shard."""
+        shards = min(self.jobs, self.n_scenarios)
+        size, extra = divmod(self.n_scenarios, shards)
+        bounds = []
+        lo = 0
+        for shard in range(shards):
+            hi = lo + size + (1 if shard < extra else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds
+
+    def evaluate(self, plan) -> Dict[int, "EvaluationOutcome"]:
+        """Run all scenario sets against ``plan`` across the workers."""
+        from repro.evaluation.montecarlo import EvaluationOutcome
+
+        payloads = [
+            (
+                self.app,
+                plan,
+                self.n_scenarios,
+                self.fault_counts,
+                self.seed,
+                self.engine,
+                lo,
+                hi,
+            )
+            for lo, hi in self._shard_bounds()
+        ]
+        if len(payloads) == 1:
+            shards = [_simulate_shard(payloads[0])]
+        else:
+            with multiprocessing.get_context().Pool(
+                processes=len(payloads)
+            ) as pool:
+                shards = pool.map(_simulate_shard, payloads)
+        outcomes: Dict[int, EvaluationOutcome] = {}
+        for faults in self.fault_counts:
+            utilities: List[float] = []
+            misses = switches = observed = 0
+            for shard in shards:
+                shard_utilities, shard_misses, shard_switches, shard_observed = shard[
+                    faults
+                ]
+                utilities.extend(shard_utilities)
+                misses += shard_misses
+                switches += shard_switches
+                observed += shard_observed
+            outcomes[faults] = EvaluationOutcome.aggregate(
+                utilities, misses, switches, observed
+            )
+        return outcomes

@@ -1,0 +1,367 @@
+"""The batched simulator: whole scenario sets per array operation.
+
+:class:`BatchSimulator` executes a compiled plan over a
+:class:`~repro.runtime.engine.batch.ScenarioBatch` by propagating
+*cohorts*: groups of scenarios that currently sit at the same tree
+node having executed the same process prefix.  Within a cohort,
+completion times are prefix sums over the duration arrays (faults on
+hard processes add their re-execution and recovery terms in closed
+form), arc conditions are evaluated as boolean masks, and matched
+scenarios split off into child cohorts.  Scenarios that finish in a
+cohort are finalized together: stale-value coefficients depend only on
+the cohort's executed set, and the utility sum is accumulated process
+by process in the oracle's completion order — the same IEEE-754
+operations in the same order, so results are bit-identical to
+:class:`~repro.runtime.online.OnlineScheduler`.
+
+The one thing the closed form cannot express is the online re-execute/
+drop decision for a *faulted soft process* (paper §2.2): it probes
+schedulability and compares expected utilities.  Scenarios whose fault
+pattern touches a soft process that any node schedules are therefore
+routed through the oracle itself — the fallback is the reference
+implementation, not an approximation of it.  Under the paper's fault
+model most fault scenarios hit hard processes or processes the plan
+never runs, so the vectorized share stays high (and is exposed as
+:attr:`BatchResult.fast_path` for the benches to report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import RuntimeModelError
+from repro.model.application import Application
+from repro.quasistatic.tree import QSTree
+from repro.runtime.engine.batch import ScenarioBatch
+from repro.runtime.engine.compile import (
+    CompiledNode,
+    compile_application,
+    compile_tree,
+)
+from repro.runtime.online import OnlineScheduler
+from repro.scheduling.fschedule import FSchedule
+from repro.utility.stale import stale_coefficients
+
+
+@dataclass
+class BatchResult:
+    """Per-scenario outcomes of one batch run.
+
+    The four quantities the evaluation layer aggregates (and the
+    differential harness compares against the oracle), plus the switch
+    chains and a mask of which scenarios took the vectorized path.
+    """
+
+    utilities: np.ndarray        # (S,) float64
+    deadline_miss: np.ndarray    # (S,) bool
+    switch_counts: np.ndarray    # (S,) int64
+    faults_observed: np.ndarray  # (S,) int64
+    switch_chains: List[Tuple[int, ...]] = field(repr=False)
+    fast_path: np.ndarray = field(repr=False)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.utilities)
+
+    @property
+    def n_fast(self) -> int:
+        return int(self.fast_path.sum())
+
+    @property
+    def n_fallback(self) -> int:
+        return self.n_scenarios - self.n_fast
+
+
+@dataclass
+class _Cohort:
+    """Scenarios at the same node with the same executed prefix."""
+
+    node_id: int
+    members: np.ndarray            # (M,) indices into the batch
+    clock: np.ndarray              # (M,) current time per member
+    observed: np.ndarray           # (M,) faults observed so far
+    prefix_ids: Tuple[int, ...]    # process ids executed before this node
+    prefix_completions: np.ndarray  # (M, len(prefix_ids))
+    chain: Tuple[int, ...]         # node ids switched through, in order
+
+
+class BatchSimulator:
+    """Vectorized executor of one plan with an oracle fallback.
+
+    Parameters
+    ----------
+    app:
+        The application being executed.
+    plan:
+        A :class:`QSTree` or a single :class:`FSchedule` (treated as a
+        one-node tree, exactly like :class:`OnlineScheduler`).
+    """
+
+    def __init__(self, app: Application, plan: Union[QSTree, FSchedule]):
+        self.app = app
+        self.capp = compile_application(app)
+        self.ctree = compile_tree(self.capp, plan)
+        self._oracle = OnlineScheduler(app, plan, record_events=False)
+        self._alphas_cache: Dict[FrozenSet[int], Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def run_batch(self, batch: ScenarioBatch) -> BatchResult:
+        """Execute every scenario of ``batch``; see :class:`BatchResult`."""
+        if batch.names != self.capp.names:
+            raise RuntimeModelError(
+                "batch process columns do not match the application "
+                f"({batch.names!r} vs {self.capp.names!r})"
+            )
+        n = batch.n_scenarios
+        result = BatchResult(
+            utilities=np.zeros(n, dtype=np.float64),
+            deadline_miss=np.zeros(n, dtype=bool),
+            switch_counts=np.zeros(n, dtype=np.int64),
+            faults_observed=np.zeros(n, dtype=np.int64),
+            switch_chains=[()] * n,
+            fast_path=np.zeros(n, dtype=bool),
+        )
+        faults = batch.fault_counts
+        soft_scheduled = self.ctree.soft_scheduled_ids
+        if soft_scheduled.size:
+            needs_oracle = (faults[:, soft_scheduled] > 0).any(axis=1)
+        else:
+            needs_oracle = np.zeros(n, dtype=bool)
+        eligible = np.flatnonzero(~needs_oracle)
+        result.fast_path[eligible] = True
+        if eligible.size:
+            self._run_cohorts(batch, eligible, result)
+        for i in np.flatnonzero(~result.fast_path):
+            self._run_oracle(batch, int(i), result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Fallback
+    # ------------------------------------------------------------------
+    def _run_oracle(
+        self, batch: ScenarioBatch, i: int, result: BatchResult
+    ) -> None:
+        outcome = self._oracle.run(batch.scenario(i))
+        result.utilities[i] = outcome.utility
+        result.deadline_miss[i] = not outcome.met_all_hard_deadlines
+        result.switch_counts[i] = len(outcome.switches)
+        result.faults_observed[i] = outcome.faults_observed
+        result.switch_chains[i] = outcome.switches
+
+    # ------------------------------------------------------------------
+    # Vectorized cohort propagation
+    # ------------------------------------------------------------------
+    def _run_cohorts(
+        self,
+        batch: ScenarioBatch,
+        eligible: np.ndarray,
+        result: BatchResult,
+    ) -> None:
+        width = batch.max_attempts
+        # cum_dur[s, p, a] = total time of attempts 0..a of process p;
+        # the closed form below adds recovery overheads separately.
+        cum_dur = batch.attempt_cumsum()
+        last_dur = batch.durations[:, :, width - 1]
+        faults = batch.fault_counts
+        mu = self.capp.mu
+        stack: List[_Cohort] = [
+            _Cohort(
+                node_id=self.ctree.root_id,
+                members=eligible,
+                clock=np.zeros(eligible.size, dtype=np.int64),
+                observed=np.zeros(eligible.size, dtype=np.int64),
+                prefix_ids=(),
+                prefix_completions=np.empty(
+                    (eligible.size, 0), dtype=np.int64
+                ),
+                chain=(),
+            )
+        ]
+        while stack:
+            cohort = stack.pop()
+            node = self.ctree.nodes[cohort.node_id]
+            # Defensive bail-outs: a malformed tree whose arcs revisit
+            # ancestors, or a child re-executing a completed process,
+            # is outside the fast path's state model — the oracle
+            # handles those scenarios with full generality.
+            if len(cohort.chain) > len(self.ctree.nodes) or (
+                node.entry_set & set(cohort.prefix_ids)
+            ):
+                result.fast_path[cohort.members] = False
+                continue
+            n_members = cohort.members.size
+            length = node.n_entries
+            if length == 0:
+                self._finalize(
+                    cohort,
+                    node,
+                    np.arange(n_members),
+                    np.empty((n_members, 0), dtype=np.int64),
+                    cohort.observed,
+                    result,
+                )
+                continue
+            ids = node.entry_ids
+            entry_faults = faults[np.ix_(cohort.members, ids)]
+            # Execution time of one entry including its re-executions:
+            # attempts 0..F plus F recovery overheads (hard processes
+            # always re-execute until the fault pattern is exhausted).
+            clamped = np.minimum(entry_faults, width - 1)
+            spent = np.take_along_axis(
+                cum_dur[np.ix_(cohort.members, ids)],
+                clamped[:, :, None],
+                axis=2,
+            )[:, :, 0]
+            spent += (entry_faults - clamped) * last_dur[
+                np.ix_(cohort.members, ids)
+            ]
+            spent += entry_faults * mu[ids][None, :]
+            completions = cohort.clock[:, None] + np.cumsum(spent, axis=1)
+            observed = cohort.observed[:, None] + np.cumsum(
+                entry_faults, axis=1
+            )
+
+            switched = np.zeros(n_members, dtype=bool)
+            switch_pos = np.full(n_members, -1, dtype=np.int64)
+            switch_target = np.full(n_members, -1, dtype=np.int64)
+            for position, arcs in enumerate(node.arcs_at):
+                if not arcs:
+                    continue
+                undecided = ~switched
+                if not undecided.any():
+                    break
+                at_completion = completions[:, position]
+                at_observed = observed[:, position]
+                # Arcs are pre-sorted by (-required_faults, target):
+                # the first hit per scenario reproduces the oracle's
+                # most-fault-specific tie-break.
+                for lo, hi, required, target in arcs:
+                    hit = (
+                        undecided
+                        & (at_completion >= lo)
+                        & (at_completion <= hi)
+                        & (at_observed >= required)
+                    )
+                    if hit.any():
+                        switch_pos[hit] = position
+                        switch_target[hit] = target
+                        switched |= hit
+                        undecided &= ~hit
+
+            finishers = np.flatnonzero(~switched)
+            if finishers.size:
+                self._finalize(
+                    cohort,
+                    node,
+                    finishers,
+                    completions[finishers],
+                    observed[finishers, -1],
+                    result,
+                )
+            if not switched.any():
+                continue
+            for position, target in {
+                (int(p), int(t))
+                for p, t in zip(switch_pos[switched], switch_target[switched])
+            }:
+                selected = np.flatnonzero(
+                    switched
+                    & (switch_pos == position)
+                    & (switch_target == target)
+                )
+                stack.append(
+                    _Cohort(
+                        node_id=target,
+                        members=cohort.members[selected],
+                        clock=completions[selected, position],
+                        observed=observed[selected, position],
+                        prefix_ids=cohort.prefix_ids
+                        + tuple(int(i) for i in ids[: position + 1]),
+                        prefix_completions=np.hstack(
+                            [
+                                cohort.prefix_completions[selected],
+                                completions[selected, : position + 1],
+                            ]
+                        ),
+                        chain=cohort.chain + (target,),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def _alphas(self, executed: FrozenSet[int]) -> Dict[str, float]:
+        """Stale coefficients for a cohort's executed set (cached)."""
+        cached = self._alphas_cache.get(executed)
+        if cached is None:
+            dropped = [
+                self.capp.names[i]
+                for i in self.capp.soft_ids
+                if int(i) not in executed
+            ]
+            cached = stale_coefficients(self.app.graph, dropped)
+            self._alphas_cache[executed] = cached
+        return cached
+
+    def _finalize(
+        self,
+        cohort: _Cohort,
+        node: CompiledNode,
+        local: np.ndarray,
+        node_completions: np.ndarray,
+        observed_final: np.ndarray,
+        result: BatchResult,
+    ) -> None:
+        """Finalize the cohort members at ``local`` (cohort-relative)."""
+        capp = self.capp
+        members = cohort.members[local]
+        executed_ids = cohort.prefix_ids + tuple(
+            int(i) for i in node.entry_ids
+        )
+        all_completions = np.hstack(
+            [cohort.prefix_completions[local], node_completions]
+        )
+        executed_set = frozenset(executed_ids)
+        alphas = self._alphas(executed_set)
+
+        utilities = np.zeros(members.size, dtype=np.float64)
+        misses = np.zeros(members.size, dtype=bool)
+        for pid in capp.hard_ids:
+            if int(pid) not in executed_set:
+                misses[:] = True
+                break
+        # Accumulate utility in completion order — the same order (and
+        # therefore the same float rounding) as the oracle's finalize.
+        period = capp.period
+        for column, pid in enumerate(executed_ids):
+            times = all_completions[:, column]
+            if capp.is_hard[pid]:
+                misses |= times > capp.deadline[pid]
+                continue
+            in_time = times <= period
+            if in_time.any():
+                values = capp.utilities[pid](times[in_time])
+                utilities[in_time] = (
+                    utilities[in_time] + alphas[capp.names[pid]] * values
+                )
+
+        result.utilities[members] = utilities
+        result.deadline_miss[members] = misses
+        result.switch_counts[members] = len(cohort.chain)
+        result.faults_observed[members] = observed_final
+        for i in members:
+            result.switch_chains[int(i)] = cohort.chain
+
+
+def simulate_batch(
+    app: Application,
+    plan: Union[QSTree, FSchedule],
+    batch: ScenarioBatch,
+) -> BatchResult:
+    """One-shot convenience wrapper around :class:`BatchSimulator`."""
+    return BatchSimulator(app, plan).run_batch(batch)

@@ -14,6 +14,30 @@ from repro.workloads.cruise import cruise_controller
 from repro.workloads.suite import WorkloadSpec, generate_application
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "engine_smoke: tier-1-safe slice of the batched-engine "
+        "differential corpus (full corpus via --engine-full)",
+    )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine-full",
+        action="store_true",
+        default=False,
+        help="run the full differential corpus of the batched engine "
+        "(slow); the default is a tier-1-safe smoke slice",
+    )
+
+
+@pytest.fixture(scope="session")
+def engine_full(request):
+    """True when ``--engine-full`` was passed (full corpus opt-in)."""
+    return request.config.getoption("--engine-full")
+
+
 @pytest.fixture
 def fig1_app():
     """Application A of Fig. 1 (T = 300, k = 1, µ = 10)."""

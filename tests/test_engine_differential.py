@@ -1,0 +1,233 @@
+"""Differential harness: batched engine vs the reference scheduler.
+
+The batched engine is only trustworthy because every scenario it
+simulates can be checked against :class:`OnlineScheduler`, the
+behavioral oracle.  For a corpus of applications (the paper's worked
+examples, the cruise controller, and seeded random DAGs), plans
+(static FTSS schedules and FTQS trees of several sizes) and all fault
+counts, these tests assert that the per-scenario utility, deadline-
+miss flag, switch chain and observed fault count are *bit-identical* —
+not approximately equal — between both engines.
+
+By default a tier-1-safe smoke slice runs (small scenario counts, the
+``engine_smoke`` marker); ``pytest --engine-full`` opts into the full
+corpus (more scenarios, bigger trees and applications).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.montecarlo import MonteCarloEvaluator
+from repro.examples_support import (
+    paper_fig1_application,
+    paper_fig8_application,
+)
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.runtime.engine import BatchSimulator, ScenarioBatch
+from repro.runtime.online import OnlineScheduler
+from repro.scheduling.ftss import ftss
+from repro.workloads.cruise import cruise_controller
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+engine_smoke = pytest.mark.engine_smoke
+
+
+def _corpus_apps(full: bool):
+    """(label, application) pairs of the differential corpus."""
+    apps = [
+        ("fig1", paper_fig1_application()),
+        ("fig8", paper_fig8_application()),
+        ("cc", cruise_controller()),
+        ("rand10", generate_application(WorkloadSpec(n_processes=10), seed=21)),
+        ("rand14", generate_application(WorkloadSpec(n_processes=14), seed=5)),
+    ]
+    if full:
+        apps += [
+            (
+                "rand18",
+                generate_application(WorkloadSpec(n_processes=18), seed=3),
+            ),
+            (
+                "rand25",
+                generate_application(WorkloadSpec(n_processes=25), seed=8),
+            ),
+            (
+                "rand30-soft",
+                generate_application(
+                    WorkloadSpec(n_processes=30, soft_ratio=0.7), seed=13
+                ),
+            ),
+        ]
+    return apps
+
+
+def _plans(app, full: bool):
+    """(label, plan) pairs to run differentially for one application."""
+    root = ftss(app)
+    if root is None:
+        return []
+    plans = [
+        ("ftss", root),
+        ("ftqs-4", ftqs(app, root, FTQSConfig(max_schedules=4))),
+        ("ftqs-10", ftqs(app, root, FTQSConfig(max_schedules=10))),
+    ]
+    if full:
+        plans.append(
+            ("ftqs-24", ftqs(app, root, FTQSConfig(max_schedules=24)))
+        )
+    return plans
+
+
+def _assert_identical(app, plan, scenarios):
+    """Batched results must be bit-identical to the oracle's."""
+    oracle = OnlineScheduler(app, plan, record_events=False)
+    batch = ScenarioBatch.from_scenarios(app, scenarios)
+    result = BatchSimulator(app, plan).run_batch(batch)
+    for i, scenario in enumerate(scenarios):
+        reference = oracle.run(scenario)
+        assert result.utilities[i] == reference.utility
+        assert bool(result.deadline_miss[i]) == (
+            not reference.met_all_hard_deadlines
+        )
+        assert result.switch_chains[i] == reference.switches
+        assert result.switch_counts[i] == len(reference.switches)
+        assert result.faults_observed[i] == reference.faults_observed
+    return result
+
+
+@engine_smoke
+def test_differential_corpus(engine_full):
+    """Every (app, plan, fault count) cell matches the oracle exactly."""
+    n_scenarios = 200 if engine_full else 30
+    checked = 0
+    for app_label, app in _corpus_apps(engine_full):
+        plans = _plans(app, engine_full)
+        assert plans, f"{app_label}: FTSS failed to schedule the corpus app"
+        evaluator = MonteCarloEvaluator(
+            app, n_scenarios=n_scenarios, seed=17
+        )
+        for plan_label, plan in plans:
+            for faults, scenarios in evaluator.scenarios.items():
+                result = _assert_identical(app, plan, scenarios)
+                if faults == 0:
+                    # No-fault scenarios must never need the oracle —
+                    # otherwise the speedup claim is vacuous.
+                    assert result.n_fallback == 0, (
+                        f"{app_label}/{plan_label}: no-fault scenarios "
+                        "fell back to the reference loop"
+                    )
+                checked += 1
+    assert checked > 0
+
+
+@engine_smoke
+def test_faulted_scenarios_use_fast_path_when_hard_only(fig1_app):
+    """Fault patterns touching only hard processes stay vectorized."""
+    from repro.faults.injection import average_case_scenario
+    from repro.faults.model import FaultScenario
+
+    app = fig1_app
+    hard = app.hard[0].name
+    root = ftss(app)
+    scenario = average_case_scenario(app, FaultScenario.of({hard: 1}))
+    result = _assert_identical(app, root, [scenario])
+    assert result.n_fallback == 0
+    assert result.faults_observed[0] == 1
+
+
+@engine_smoke
+def test_soft_faulted_scenarios_fall_back_to_oracle(fig1_app):
+    """Faulted soft processes exercise §2.2 logic → oracle fallback."""
+    from repro.faults.injection import average_case_scenario
+    from repro.faults.model import FaultScenario
+
+    app = fig1_app
+    root = ftss(app)
+    scheduled_soft = [
+        e.name for e in root.entries if app.process(e.name).is_soft
+    ]
+    assert scheduled_soft, "fig1 root schedule has no soft process"
+    scenario = average_case_scenario(
+        app, FaultScenario.of({scheduled_soft[0]: 1})
+    )
+    result = _assert_identical(app, root, [scenario])
+    assert result.n_fallback == 1
+
+
+@engine_smoke
+def test_evaluator_outcomes_identical_across_engines(fig1_app):
+    """Aggregated outcomes match engine-for-engine, field for field."""
+    evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=60, seed=9)
+    plan = ftqs(fig1_app, ftss(fig1_app), FTQSConfig(max_schedules=6))
+    by_reference = evaluator.evaluate(plan, engine="reference")
+    by_batch = evaluator.evaluate(plan, engine="batched")
+    assert set(by_reference) == set(by_batch)
+    for faults in by_reference:
+        ref, bat = by_reference[faults], by_batch[faults]
+        assert ref.utilities == bat.utilities
+        assert ref.mean_utility == bat.mean_utility
+        assert ref.deadline_misses == bat.deadline_misses
+        assert ref.mean_switches == bat.mean_switches
+        assert ref.mean_faults == bat.mean_faults
+
+
+@engine_smoke
+def test_parallel_sharding_is_outcome_preserving(fig1_app):
+    """jobs=2 (and a jobs=3 odd split) merge to the jobs=1 outcomes."""
+    evaluator = MonteCarloEvaluator(
+        fig1_app, n_scenarios=25, fault_counts=[0, 1], seed=4
+    )
+    plan = ftss(fig1_app)
+    serial = evaluator.evaluate(plan, engine="batched", jobs=1)
+    for jobs in (2, 3):
+        sharded = evaluator.evaluate(plan, engine="batched", jobs=jobs)
+        for faults in serial:
+            assert sharded[faults].utilities == serial[faults].utilities
+            assert (
+                sharded[faults].mean_utility == serial[faults].mean_utility
+            )
+            assert (
+                sharded[faults].deadline_misses
+                == serial[faults].deadline_misses
+            )
+
+
+@engine_smoke
+def test_parallel_reference_engine_matches_too(fig1_app):
+    """Sharding composes with the reference engine as well."""
+    evaluator = MonteCarloEvaluator(
+        fig1_app, n_scenarios=12, fault_counts=[0], seed=4
+    )
+    plan = ftss(fig1_app)
+    serial = evaluator.evaluate(plan, engine="reference", jobs=1)
+    sharded = evaluator.evaluate(plan, engine="reference", jobs=2)
+    assert sharded[0].utilities == serial[0].utilities
+
+
+def test_batch_rejects_mismatched_process_columns(fig1_app, fig8_app):
+    """A batch packed for one application cannot run another's plan."""
+    from repro.errors import RuntimeModelError
+
+    evaluator = MonteCarloEvaluator(
+        fig8_app, n_scenarios=2, fault_counts=[0], seed=1
+    )
+    batch = ScenarioBatch.from_scenarios(
+        fig8_app, evaluator.scenarios[0]
+    )
+    simulator = BatchSimulator(fig1_app, ftss(fig1_app))
+    with pytest.raises(RuntimeModelError):
+        simulator.run_batch(batch)
+
+
+def test_simulate_batch_convenience_wrapper(fig1_app):
+    from repro.runtime.engine.simulator import simulate_batch
+
+    sampler_scenarios = MonteCarloEvaluator(
+        fig1_app, n_scenarios=5, fault_counts=[0], seed=2
+    ).scenarios[0]
+    batch = ScenarioBatch.from_scenarios(fig1_app, sampler_scenarios)
+    result = simulate_batch(fig1_app, ftss(fig1_app), batch)
+    assert result.n_scenarios == 5
+    assert np.all(result.utilities >= 0)

@@ -5,7 +5,11 @@ import pytest
 
 from repro.errors import RuntimeModelError
 from repro.evaluation.metrics import CellStats, NormalizedTable, format_table
-from repro.evaluation.montecarlo import MonteCarloEvaluator, normalized_to
+from repro.evaluation.montecarlo import (
+    EvaluationOutcome,
+    MonteCarloEvaluator,
+    normalized_to,
+)
 from repro.quasistatic.ftqs import FTQSConfig, ftqs
 from repro.runtime.replanner import run_replanning
 from repro.scheduling.ftsf import ftsf
@@ -61,9 +65,84 @@ class TestMonteCarloEvaluator:
         with pytest.raises(RuntimeModelError):
             normalized_to(results, "missing")
 
+    def test_normalized_to_unknown_reference_faults(self, fig1_app):
+        evaluator = MonteCarloEvaluator(
+            fig1_app, n_scenarios=5, fault_counts=[0], seed=1
+        )
+        results = evaluator.compare({"A": ftss(fig1_app)})
+        with pytest.raises(RuntimeModelError):
+            normalized_to(results, "A", reference_faults=7)
+
+    def test_normalized_to_non_positive_base(self):
+        results = {"A": {0: EvaluationOutcome(mean_utility=0.0)}}
+        with pytest.raises(RuntimeModelError):
+            normalized_to(results, "A")
+
+    def test_aggregate_empty_scenario_set_rejected(self):
+        with pytest.raises(RuntimeModelError):
+            EvaluationOutcome.aggregate([], 0, 0, 0)
+
+    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    def test_compare_deterministic_and_non_mutating(self, fig1_app, engine):
+        """Repeated compare() calls see pristine scenarios and return
+        identical outcomes — evaluation must not mutate its inputs."""
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
+        evaluator = MonteCarloEvaluator(
+            fig1_app, n_scenarios=25, seed=13, engine=engine
+        )
+        snapshot = {
+            f: [
+                (
+                    {k: tuple(v) for k, v in s.durations.items()},
+                    s.faults,
+                )
+                for s in scenarios
+            ]
+            for f, scenarios in evaluator.scenarios.items()
+        }
+        first = evaluator.compare({"tree": tree, "root": root})
+        second = evaluator.compare({"tree": tree, "root": root})
+        for name in first:
+            for faults in first[name]:
+                a, b = first[name][faults], second[name][faults]
+                assert a.utilities == b.utilities
+                assert a.mean_utility == b.mean_utility
+                assert a.deadline_misses == b.deadline_misses
+                assert a.mean_switches == b.mean_switches
+        after = {
+            f: [
+                (
+                    {k: tuple(v) for k, v in s.durations.items()},
+                    s.faults,
+                )
+                for s in scenarios
+            ]
+            for f, scenarios in evaluator.scenarios.items()
+        }
+        assert after == snapshot
+
     def test_zero_scenarios_rejected(self, fig1_app):
         with pytest.raises(RuntimeModelError):
             MonteCarloEvaluator(fig1_app, n_scenarios=0)
+
+    def test_empty_fault_counts_rejected(self, fig1_app):
+        with pytest.raises(RuntimeModelError):
+            MonteCarloEvaluator(fig1_app, n_scenarios=5, fault_counts=[])
+
+    def test_unknown_engine_rejected(self, fig1_app):
+        with pytest.raises(RuntimeModelError):
+            MonteCarloEvaluator(fig1_app, n_scenarios=5, engine="warp")
+        evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=5)
+        with pytest.raises(RuntimeModelError):
+            evaluator.evaluate(ftss(fig1_app), engine="warp")
+
+    def test_non_positive_jobs_rejected(self, fig1_app):
+        with pytest.raises(RuntimeModelError):
+            MonteCarloEvaluator(fig1_app, n_scenarios=5, jobs=0)
+        evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=5)
+        with pytest.raises(RuntimeModelError):
+            evaluator.evaluate(ftss(fig1_app), jobs=0)
 
     def test_seed_determinism(self, fig1_app):
         a = MonteCarloEvaluator(fig1_app, n_scenarios=10, seed=5)
