@@ -10,6 +10,14 @@ qualitative shapes.
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: seconds-long engine-throughput slice safe for "
+        "tier 1 (select with `pytest -m bench_smoke`)",
+    )
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--full-scale",

@@ -136,12 +136,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         engine=args.engine,
         jobs=args.jobs,
     )
-    outcomes = evaluator.evaluate(tree)
+    with evaluator:
+        outcomes = evaluator.evaluate(tree)
     for faults, outcome in sorted(outcomes.items()):
         status = "ok" if outcome.ok else "DEADLINE MISSES"
+        fast_path = (
+            f", fast path {100.0 * outcome.fast_path_share:.1f}% "
+            f"({outcome.fallbacks} oracle fallbacks)"
+            if args.engine == "batched"
+            else ""
+        )
         print(
             f"{faults} faults: mean utility {outcome.mean_utility:.1f}, "
-            f"{outcome.mean_switches:.2f} switches/cycle [{status}]"
+            f"{outcome.mean_switches:.2f} switches/cycle"
+            f"{fast_path} [{status}]"
         )
     return 0
 

@@ -78,6 +78,12 @@ def run_table1(config: Table1Config = Table1Config()) -> List[Table1Row]:
             jobs=config.jobs,
         )
         baseline = evaluator.evaluate(root)
+        # With jobs > 1 every evaluator would otherwise keep its
+        # worker pool and shared-memory segments alive for the whole
+        # sweep (n_apps pools at once); close after each use — the
+        # pool respawns on the next evaluate, bounding concurrency at
+        # one pool without losing the per-evaluate amortization.
+        evaluator.close()
         if baseline[0].mean_utility <= 0:
             continue
         apps.append((app, root, evaluator, baseline))
@@ -93,7 +99,10 @@ def run_table1(config: Table1Config = Table1Config()) -> List[Table1Row]:
             else:
                 plan = ftqs(app, root, FTQSConfig(max_schedules=m))
             total_runtime += time.perf_counter() - start
-            outcome = evaluator.evaluate(plan)
+            try:
+                outcome = evaluator.evaluate(plan)
+            finally:
+                evaluator.close()
             for faults in range(config.k + 1):
                 base = baseline[faults].mean_utility
                 if base <= 0:

@@ -42,9 +42,11 @@ from repro.scheduling.fschedule import FSchedule
 
 Plan = Union[QSTree, FSchedule]
 
-#: Raw simulation of one scenario set:
-#: (per-scenario utilities, deadline misses, total switches, total faults).
-RawOutcome = Tuple[List[float], int, int, int]
+#: Raw simulation of one scenario set: (per-scenario utilities,
+#: deadline misses, total switches, total faults, oracle fallbacks).
+#: ``fallbacks`` counts scenarios the batched engine routed through
+#: the reference loop (the whole set, for ``engine="reference"``).
+RawOutcome = Tuple[List[float], int, int, int, int]
 
 ENGINES = ("reference", "batched")
 
@@ -66,11 +68,27 @@ class EvaluationOutcome:
     deadline_misses: int = 0
     mean_switches: float = 0.0
     mean_faults: float = 0.0
+    fallbacks: int = 0
 
     @property
     def ok(self) -> bool:
         """True when no simulated cycle missed a hard deadline."""
         return self.deadline_misses == 0
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.utilities)
+
+    @property
+    def fast_path_share(self) -> float:
+        """Fraction of scenarios resolved without the reference loop.
+
+        1.0 for a fully vectorized batched run, 0.0 for the reference
+        engine; drops in between flag fast-path coverage regressions.
+        """
+        if not self.utilities:
+            return 0.0
+        return 1.0 - self.fallbacks / len(self.utilities)
 
     @classmethod
     def aggregate(
@@ -79,6 +97,7 @@ class EvaluationOutcome:
         deadline_misses: int,
         total_switches: int,
         total_faults: int,
+        fallbacks: int = 0,
     ) -> "EvaluationOutcome":
         """Aggregate per-scenario results into one outcome.
 
@@ -98,6 +117,7 @@ class EvaluationOutcome:
             deadline_misses=deadline_misses,
             mean_switches=total_switches / count,
             mean_faults=total_faults / count,
+            fallbacks=fallbacks,
         )
 
 
@@ -182,6 +202,10 @@ class MonteCarloEvaluator:
                 for durations, pattern in zip(duration_sets, patterns)
             ]
         self._batches: Dict[int, ScenarioBatch] = {}
+        # Persistent sharded evaluators, one per (engine, jobs): the
+        # worker pool and shared-memory scenario segments survive
+        # across evaluate()/compare() calls (see ParallelEvaluator).
+        self._parallel: Dict[Tuple[str, int], "ParallelEvaluator"] = {}
 
     # ------------------------------------------------------------------
     # Simulation primitives (shared by in-process and sharded paths)
@@ -211,7 +235,7 @@ class MonteCarloEvaluator:
                 misses += 1
             switches += len(result.switches)
             observed += result.faults_observed
-        return utilities, misses, switches, observed
+        return utilities, misses, switches, observed, len(utilities)
 
     @staticmethod
     def _batched_raw(
@@ -223,6 +247,7 @@ class MonteCarloEvaluator:
             int(result.deadline_miss.sum()),
             int(result.switch_counts.sum()),
             int(result.faults_observed.sum()),
+            result.n_fallback,
         )
 
     def simulate_raw(
@@ -267,16 +292,7 @@ class MonteCarloEvaluator:
         if jobs < 1:
             raise RuntimeModelError(f"jobs must be positive, got {jobs}")
         if jobs > 1:
-            from repro.runtime.engine.parallel import ParallelEvaluator
-
-            return ParallelEvaluator(
-                self.app,
-                n_scenarios=self.n_scenarios,
-                fault_counts=self.fault_counts,
-                seed=self.seed,
-                engine=engine,
-                jobs=jobs,
-            ).evaluate(plan)
+            return self.parallel(engine, jobs).evaluate(plan)
         outcomes: Dict[int, EvaluationOutcome] = {}
         if engine == "batched":
             simulator = BatchSimulator(self.app, plan)
@@ -293,8 +309,46 @@ class MonteCarloEvaluator:
     def compare(
         self, plans: Mapping[str, Plan]
     ) -> Dict[str, Dict[int, EvaluationOutcome]]:
-        """Evaluate several named plans on the same scenario sets."""
+        """Evaluate several named plans on the same scenario sets.
+
+        With ``jobs > 1`` every plan reuses one persistent worker pool
+        and one set of shared-memory scenario segments.
+        """
         return {name: self.evaluate(plan) for name, plan in plans.items()}
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def parallel(self, engine: str, jobs: int) -> "ParallelEvaluator":
+        """The persistent sharded evaluator for (engine, jobs)."""
+        from repro.runtime.engine.parallel import ParallelEvaluator
+
+        key = (engine, jobs)
+        evaluator = self._parallel.get(key)
+        if evaluator is None:
+            evaluator = ParallelEvaluator(
+                self.app,
+                n_scenarios=self.n_scenarios,
+                fault_counts=self.fault_counts,
+                seed=self.seed,
+                engine=engine,
+                jobs=jobs,
+                source=self,
+            )
+            self._parallel[key] = evaluator
+        return evaluator
+
+    def close(self) -> None:
+        """Release any worker pools and shared-memory segments."""
+        for evaluator in self._parallel.values():
+            evaluator.close()
+        self._parallel.clear()
+
+    def __enter__(self) -> "MonteCarloEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def normalized_to(

@@ -14,13 +14,19 @@ top of it:
 * :mod:`repro.runtime.engine.compile` — a :class:`QSTree` or
   :class:`FSchedule` is compiled into integer-indexed process tables
   and per-node arc tables;
+* :mod:`repro.runtime.engine.decisions` — :class:`DecisionTables`
+  compiles the §2.2 drop/re-execute decision into integer
+  schedulability thresholds and piecewise-constant benefit tables of
+  the clock;
 * :mod:`repro.runtime.engine.simulator` — :class:`BatchSimulator`
   executes the compiled plan over whole batches with array operations,
-  falling back to the oracle only for the scenarios whose soft-process
-  fault handling needs the full decision logic;
+  resolving faulted soft processes against the decision tables and
+  falling back to the oracle only for plans outside the fast path's
+  state model;
 * :mod:`repro.runtime.engine.parallel` — :class:`ParallelEvaluator`
-  shards scenario sets across ``multiprocessing`` workers with
-  deterministic per-shard seeding and merges the outcomes.
+  shards scenario sets across a persistent pool of
+  ``multiprocessing`` workers that attach the batch arrays via shared
+  memory, and merges the outcomes.
 
 Every fast path is bit-identical to the oracle (asserted by
 ``tests/test_engine_differential.py``): utilities are accumulated in
@@ -36,6 +42,7 @@ from repro.runtime.engine.compile import (
     compile_application,
     compile_tree,
 )
+from repro.runtime.engine.decisions import DecisionTables
 from repro.runtime.engine.parallel import ParallelEvaluator
 from repro.runtime.engine.simulator import BatchResult, BatchSimulator
 
@@ -45,6 +52,7 @@ __all__ = [
     "CompiledApplication",
     "CompiledNode",
     "CompiledTree",
+    "DecisionTables",
     "ParallelEvaluator",
     "ScenarioBatch",
     "compile_application",

@@ -23,7 +23,7 @@ unknown subclass falls back to a scalar loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple, Union
 
 import numpy as np
@@ -164,6 +164,8 @@ class CompiledNode:
     entry_ids: np.ndarray            # (L,) process ids in schedule order
     entry_set: frozenset             # same ids, for overlap checks
     arcs_at: Tuple[Tuple[CompiledArc, ...], ...]  # arcs per position
+    entry_caps: np.ndarray           # (L,) re-execution allotments
+    schedule: FSchedule = field(repr=False, compare=False)
 
     @property
     def n_entries(self) -> int:
@@ -224,6 +226,11 @@ def compile_tree(
             entry_ids=entry_ids,
             entry_set=frozenset(int(i) for i in entry_ids),
             arcs_at=tuple(arcs_at),
+            entry_caps=np.array(
+                [e.reexecutions for e in node.schedule.entries],
+                dtype=np.int64,
+            ),
+            schedule=node.schedule,
         )
     soft_scheduled = np.array(
         sorted(i for i in scheduled if not capp.is_hard[i]), dtype=np.int64

@@ -1,0 +1,424 @@
+"""Precompiled §2.2 drop/re-execute decision tables.
+
+The online scheduler decides whether a *faulted soft process* is
+re-executed by (a) checking its remaining allotment, (b) probing that
+the re-execution keeps every remaining hard process schedulable from
+the current instant, and (c) comparing the expected utility of keeping
+vs dropping it (:meth:`OnlineScheduler._should_reexecute`).  Both
+checks collapse to precomputable functions of the cohort clock:
+
+* **Schedulability** — :meth:`FSchedule.worst_case_completions` is
+  ``start + C_i`` with constants ``C_i`` that depend only on the probe
+  entries (the re-execution, then the tail of the active schedule,
+  with caps clamped to the remaining fault budget).  The S_iH test
+  therefore passes iff ``start <= min_i(bound_i - C_i)`` — a single
+  integer threshold per (node, position, attempt, budget), computed
+  here with the same integer arithmetic the probe itself uses, so the
+  comparison is exact.
+
+* **Benefit** — keep/drop expected utilities are sums of
+  ``U_j(clock + offset_j)`` terms gated by the period.  When every
+  relevant utility function is piecewise-constant (the paper's
+  canonical shape), the decision is constant between breakpoints; the
+  table stores one boolean per segment, *evaluated by the oracle's own
+  float code* at a representative clock, so bit-identity holds by
+  construction.  Non-piecewise-constant utilities (e.g.
+  :class:`LinearUtility`) fall back to a per-clock memo that calls the
+  same oracle code for each distinct clock value — still exact, just
+  not O(1) per cohort.
+
+Two conditions the tables cannot absorb are reported per (node,
+position) so the simulator can resolve them once per cohort (they
+depend only on the cohort's executed set, not on any per-member
+value): hard processes missing from both the probe and the completed
+set (the probe is unschedulable at any clock), and hard predecessors
+the probe's validation would reject (the oracle raises there; such
+scenarios are routed to it so the behaviour stays identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.runtime.engine.compile import CompiledApplication, CompiledTree
+from repro.runtime.online import OnlineScheduler
+from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+
+#: Sentinel "schedulable at no clock" threshold (any real clock is
+#: non-negative, so every comparison against it fails).
+NEVER = -(2**62)
+
+
+@dataclass(frozen=True)
+class ProbeInfo:
+    """Cohort-level facts about the S_iH probe at one position.
+
+    ``hard_in_probe`` are the hard process ids the probe schedules
+    itself; any other hard id must already be completed or the probe
+    is unschedulable.  ``external_hard_preds`` are hard ids that some
+    probe entry directly depends on without the probe scheduling them
+    first — if one of those is not completed, the probe's constructor
+    raises in the oracle, so the simulator must defer to it.
+    """
+
+    hard_in_probe: FrozenSet[int]
+    external_hard_preds: FrozenSet[int]
+
+
+#: One utility term of a benefit sum: (α coefficient, vectorized
+#: evaluator, clock offset).  The term contributes
+#: ``α · U(clock + offset)`` while ``clock + offset <= period``.
+_BenefitTerm = Tuple[float, object, int]
+
+
+class _BenefitFunction:
+    """Vectorized, bit-identical form of the oracle's §2.2 comparison.
+
+    The stale-value coefficients are fixed per (node, position,
+    dropped set), so they are resolved once here; per clock the terms
+    are accumulated in the oracle's exact order with the compiled
+    utility evaluators — the same float operations
+    :meth:`OnlineScheduler._reexecution_beneficial` performs, just
+    elementwise over a clock array.
+    """
+
+    def __init__(
+        self,
+        keep_terms: List[_BenefitTerm],
+        drop_terms: List[_BenefitTerm],
+        period: int,
+    ):
+        self._keep = keep_terms
+        self._drop = drop_terms
+        self._period = period
+
+    def _accumulate(
+        self, terms: List[_BenefitTerm], clocks: np.ndarray
+    ) -> np.ndarray:
+        total = np.zeros(clocks.size, dtype=np.float64)
+        for alpha, evaluate, offset in terms:
+            times = clocks + offset
+            counted = times <= self._period
+            if counted.any():
+                total[counted] = total[counted] + alpha * evaluate(
+                    times[counted]
+                )
+        return total
+
+    def decide(self, clocks: np.ndarray) -> np.ndarray:
+        return self._accumulate(self._keep, clocks) > self._accumulate(
+            self._drop, clocks
+        )
+
+
+class _BenefitTable:
+    """Piecewise-constant benefit decision: segment starts + booleans."""
+
+    def __init__(self, starts: np.ndarray, values: np.ndarray):
+        self._starts = starts
+        self._values = values
+
+    def lookup(self, clocks: np.ndarray) -> np.ndarray:
+        index = np.searchsorted(self._starts, clocks, side="right") - 1
+        return self._values[index]
+
+
+class _BenefitMemo:
+    """Exact per-clock benefit decisions for non-tabulable utilities."""
+
+    def __init__(self, function: _BenefitFunction):
+        self._function = function
+        self._cache: Dict[int, bool] = {}
+
+    def lookup(self, clocks: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        unique = np.unique(clocks)
+        missing = [int(c) for c in unique if int(c) not in cache]
+        if missing:
+            decided = self._function.decide(
+                np.asarray(missing, dtype=np.int64)
+            )
+            cache.update(zip(missing, (bool(v) for v in decided)))
+        return np.array([cache[int(c)] for c in clocks], dtype=bool)
+
+
+class DecisionTables:
+    """Lazy per-plan caches of the compiled §2.2 decision functions.
+
+    All tables are keyed by compile-time state (node, position,
+    attempt, fault budget) plus — for the benefit tables — the
+    cohort's runtime-dropped set, which is uniform within a cohort.
+    """
+
+    def __init__(
+        self,
+        capp: CompiledApplication,
+        ctree: CompiledTree,
+        oracle: OnlineScheduler,
+    ):
+        self.capp = capp
+        self.ctree = ctree
+        self._oracle = oracle
+        self._hard_id_set = frozenset(int(i) for i in capp.hard_ids)
+        self._thresholds: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._probe_info: Dict[Tuple[int, int], ProbeInfo] = {}
+        self._benefit: Dict[Tuple[int, int, FrozenSet[int]], object] = {}
+
+    # ------------------------------------------------------------------
+    # Schedulability thresholds
+    # ------------------------------------------------------------------
+    def _probe_entries(
+        self, node_id: int, position: int, attempt: int, budget: int
+    ) -> List[ScheduledEntry]:
+        """The oracle's probe entry list, verbatim (§2.2 check (b))."""
+        schedule = self.ctree.nodes[node_id].schedule
+        entry = schedule.entries[position]
+        entries = [
+            ScheduledEntry(
+                entry.name, min(entry.reexecutions - attempt - 1, budget)
+            )
+        ]
+        app = self.capp.app
+        for later in schedule.entries[position + 1 :]:
+            cap = (
+                budget
+                if app.process(later.name).is_hard
+                else min(later.reexecutions, budget)
+            )
+            entries.append(ScheduledEntry(later.name, cap))
+        return entries
+
+    def _max_start(self, node_id: int, position: int, attempt: int, budget: int) -> int:
+        """Latest probe ``start_time`` passing the S_iH deadline test.
+
+        ``worst_case_completions`` is ``start + C_i`` with per-entry
+        constants, so the test passes iff ``start`` stays at or below
+        ``min(bound_i - C_i)``.  Computed with a canonical
+        "everything else already completed" context: the constants do
+        not depend on the prior sets, and the runtime-dependent parts
+        (missing hard processes, validation) are resolved per cohort
+        via :meth:`probe_info`.
+        """
+        app = self.capp.app
+        schedule = self.ctree.nodes[node_id].schedule
+        entries = self._probe_entries(node_id, position, attempt, budget)
+        probe_names = {e.name for e in entries}
+        try:
+            probe = FSchedule(
+                app,
+                entries,
+                start_time=0,
+                fault_budget=budget,
+                prior_completed=frozenset(
+                    name for name in self.capp.names if name not in probe_names
+                ),
+                slack_sharing=schedule.slack_sharing,
+            )
+        except SchedulingError:
+            return NEVER
+        completions = probe.worst_case_completions()
+        bounds = [app.period - probe.worst_case_makespan()]
+        for entry in entries:
+            proc = app.process(entry.name)
+            if proc.is_hard:
+                bounds.append(proc.deadline - completions[entry.name])
+        return min(bounds)
+
+    def sched_thresholds(
+        self, node_id: int, position: int, attempt: int
+    ) -> np.ndarray:
+        """Max clock per remaining budget 0..k at which (b) passes.
+
+        The threshold is on the *clock of the fault*: the probe starts
+        at ``clock + µ``, so the start threshold is shifted by the
+        process's recovery overhead.
+        """
+        key = (node_id, position, attempt)
+        table = self._thresholds.get(key)
+        if table is None:
+            node = self.ctree.nodes[node_id]
+            mu = int(self.capp.mu[node.entry_ids[position]])
+            table = np.array(
+                [
+                    self._max_start(node_id, position, attempt, budget) - mu
+                    for budget in range(self.capp.app.k + 1)
+                ],
+                dtype=np.int64,
+            )
+            self._thresholds[key] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Probe context (cohort-level, clock-independent)
+    # ------------------------------------------------------------------
+    def probe_info(self, node_id: int, position: int) -> ProbeInfo:
+        key = (node_id, position)
+        info = self._probe_info.get(key)
+        if info is None:
+            capp = self.capp
+            graph = capp.app.graph
+            schedule = self.ctree.nodes[node_id].schedule
+            names = [e.name for e in schedule.entries[position:]]
+            hard_in_probe = frozenset(
+                capp.index[n] for n in names if capp.is_hard[capp.index[n]]
+            )
+            external: Set[int] = set()
+            earlier: Set[str] = set()
+            for name in names:
+                for pred in graph.predecessors(name):
+                    pid = capp.index.get(pred)
+                    if (
+                        pid is not None
+                        and capp.is_hard[pid]
+                        and pred not in earlier
+                    ):
+                        external.add(int(pid))
+                earlier.add(name)
+            info = ProbeInfo(
+                hard_in_probe=hard_in_probe,
+                external_hard_preds=frozenset(external),
+            )
+            self._probe_info[key] = info
+        return info
+
+    def missing_hard(
+        self, node_id: int, position: int, completed: FrozenSet[int]
+    ) -> bool:
+        """True when some hard process is neither completed nor probed
+        — the oracle's probe is then unschedulable at every clock."""
+        info = self.probe_info(node_id, position)
+        return bool(self._hard_id_set - info.hard_in_probe - completed)
+
+    def probe_would_raise(
+        self, node_id: int, position: int, completed: FrozenSet[int]
+    ) -> bool:
+        """True when the oracle's probe constructor would raise — the
+        scenario must run on the oracle to reproduce that behaviour."""
+        info = self.probe_info(node_id, position)
+        return bool(info.external_hard_preds - completed)
+
+    # ------------------------------------------------------------------
+    # Benefit tables
+    # ------------------------------------------------------------------
+    def benefit(
+        self, node_id: int, position: int, dropped_ids: FrozenSet[int]
+    ):
+        """The benefit decision for one (node, position, dropped set).
+
+        Returns an object with ``lookup(clocks) -> bool array``: a
+        breakpoint table when every involved utility function is
+        piecewise-constant, a per-clock memo otherwise.
+        """
+        from repro.utility.stale import stale_coefficients
+
+        key = (node_id, position, dropped_ids)
+        table = self._benefit.get(key)
+        if table is None:
+            capp = self.capp
+            app = capp.app
+            schedule = self.ctree.nodes[node_id].schedule
+            dropped_names = {capp.names[i] for i in dropped_ids}
+
+            entry = schedule.entries[position]
+            entry_pid = capp.index[entry.name]
+            entry_proc = app.process(entry.name)
+            mu = app.recovery_overhead(entry.name)
+            # The oracle's keep side runs the re-execution (restart =
+            # clock + µ, completing after its AET) and then the tail;
+            # the drop side runs the tail from the fault instant.  The
+            # α coefficients depend only on the dropped sets, so they
+            # are resolved once per table.
+            keep_alphas = stale_coefficients(
+                app.graph, dropped_names | schedule.all_dropped
+            )
+            drop_alphas = stale_coefficients(
+                app.graph,
+                dropped_names | schedule.all_dropped | {entry.name},
+            )
+            keep_terms: List[_BenefitTerm] = [
+                (
+                    keep_alphas[entry.name],
+                    capp.utilities[entry_pid],
+                    mu + entry_proc.aet,
+                )
+            ]
+            drop_terms: List[_BenefitTerm] = []
+            utilities = [entry_proc.utility]
+            tail_offset = 0
+            for later in schedule.entries[position + 1 :]:
+                later_proc = app.process(later.name)
+                tail_offset += later_proc.aet
+                if not later_proc.is_soft:
+                    continue
+                later_pid = capp.index[later.name]
+                keep_terms.append(
+                    (
+                        keep_alphas[later.name],
+                        capp.utilities[later_pid],
+                        mu + entry_proc.aet + tail_offset,
+                    )
+                )
+                drop_terms.append(
+                    (
+                        drop_alphas[later.name],
+                        capp.utilities[later_pid],
+                        tail_offset,
+                    )
+                )
+                utilities.append(later_proc.utility)
+            function = _BenefitFunction(keep_terms, drop_terms, app.period)
+
+            tabulable = all(
+                u is None or u.is_piecewise_constant() for u in utilities
+            )
+            if not tabulable:
+                table = _BenefitMemo(function)
+            else:
+                start_array = self._segment_starts(
+                    keep_terms, drop_terms, utilities, app.period
+                )
+                values = function.decide(start_array)
+                table = _BenefitTable(start_array, values)
+            self._benefit[key] = table
+        return table
+
+    @staticmethod
+    def _segment_starts(
+        keep_terms: List[_BenefitTerm],
+        drop_terms: List[_BenefitTerm],
+        utilities: List[object],
+        period: int,
+    ) -> np.ndarray:
+        """Clock values opening a new constant segment of the decision.
+
+        A piecewise-constant term ``α·U(clock + offset)`` changes value
+        between ``c`` and ``c + 1`` exactly when ``c + offset`` is one
+        of ``U.breakpoints()``, or when the period gate flips — so the
+        segments starting at ``bp - offset + 1`` / ``period - offset
+        + 1`` (clipped at 0) partition the clock axis into intervals on
+        which the oracle computes identical floats.
+        """
+        starts = {0}
+        # keep_terms lists the faulted entry first, then the soft tail
+        # in order; drop_terms lists the same tail — utilities[0] pairs
+        # with keep_terms[0], utilities[j] with keep_terms[j] and
+        # drop_terms[j - 1].
+        for i, (_, _, offset) in enumerate(keep_terms):
+            utility = utilities[i]
+            for bp in [] if utility is None else utility.breakpoints():
+                if bp - offset + 1 > 0:
+                    starts.add(bp - offset + 1)
+            if period - offset + 1 > 0:
+                starts.add(period - offset + 1)
+        for i, (_, _, offset) in enumerate(drop_terms):
+            utility = utilities[i + 1]
+            for bp in [] if utility is None else utility.breakpoints():
+                if bp - offset + 1 > 0:
+                    starts.add(bp - offset + 1)
+            if period - offset + 1 > 0:
+                starts.add(period - offset + 1)
+        return np.array(sorted(starts), dtype=np.int64)

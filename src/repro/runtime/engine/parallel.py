@@ -1,65 +1,149 @@
 """Sharded Monte-Carlo evaluation across ``multiprocessing`` workers.
 
 :class:`ParallelEvaluator` splits the scenario index range of a
-Monte-Carlo evaluation into contiguous shards, one per job.  Every
-worker re-derives the *complete* scenario sets from the same master
-seed — deterministic per-shard seeding: shard boundaries select which
-slice a worker simulates, never which random draws it makes — then
-simulates only its slice and ships back raw per-scenario arrays.  The
-parent concatenates the shards in index order, so the merged
-:class:`~repro.evaluation.montecarlo.EvaluationOutcome` per fault
-count is identical to a single-process run, for any job count.
+Monte-Carlo evaluation into contiguous shards, one per job.  The
+scenario sets are packed once into :class:`ScenarioBatch` arrays and
+published to the workers through ``multiprocessing.shared_memory`` —
+workers attach to the segments in their initializer and never copy or
+re-derive the scenario data.  Shard boundaries select which slice a
+worker simulates; per-scenario results are independent of the slicing,
+so the merged :class:`~repro.evaluation.montecarlo.EvaluationOutcome`
+per fault count is identical to a single-process run, for any job
+count.
 
-Re-deriving scenarios in the workers keeps the task payload small (an
-application, a plan and four integers) and sidesteps any question of
-RNG state hand-off; sampling is a negligible fraction of simulation
-time.  Workers default to the batched engine but honour
-``engine="reference"`` for differential measurements.
+The pool is *persistent*: it is created lazily on the first
+``evaluate()`` and reused across ``evaluate()``/``compare()`` calls
+for the evaluator's lifetime (also reachable via ``with``), so
+comparing many plans pays the fork/attach cost once.  Each worker
+compiles a plan (``BatchSimulator`` tables) once per ``evaluate()``
+call and reuses it across that plan's fault counts.  Workers default
+to the batched engine but honour ``engine="reference"`` for
+differential measurements.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import weakref
+from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import RuntimeModelError
 
-#: One shard's raw result per fault count:
-#: (utilities, misses, total switches, total observed faults).
-_ShardRaw = Dict[int, Tuple[List[float], int, int, int]]
+#: One shard's raw result per fault count: (utilities, misses, total
+#: switches, total observed faults, oracle fallbacks).
+_ShardRaw = Dict[int, Tuple[List[float], int, int, int, int]]
+
+#: (shm name of durations, durations shape, shm name of fault counts)
+_BatchSpec = Tuple[str, Tuple[int, int, int], str]
+
+#: Worker-process state installed by :func:`_worker_init`.
+_WORKER: Optional[Dict] = None
 
 
-def _simulate_shard(payload) -> _ShardRaw:
+def _attach_batches(
+    names: Tuple[str, ...], specs: Dict[int, _BatchSpec]
+) -> Tuple[Dict[int, "ScenarioBatch"], List[shared_memory.SharedMemory]]:
+    """Attach the published scenario arrays (no copies)."""
+    from repro.runtime.engine.batch import ScenarioBatch
+
+    batches: Dict[int, ScenarioBatch] = {}
+    segments: List[shared_memory.SharedMemory] = []
+    for faults, (durations_name, shape, fault_name) in specs.items():
+        durations_shm = shared_memory.SharedMemory(name=durations_name)
+        fault_shm = shared_memory.SharedMemory(name=fault_name)
+        segments += [durations_shm, fault_shm]
+        durations = np.ndarray(shape, dtype=np.int64, buffer=durations_shm.buf)
+        fault_counts = np.ndarray(
+            shape[:2], dtype=np.int64, buffer=fault_shm.buf
+        )
+        batches[faults] = ScenarioBatch(names, durations, fault_counts)
+    return batches, segments
+
+
+def _worker_init(app, names, specs, engine) -> None:
+    """Pool initializer: attach shared batches, prime per-plan caches."""
+    global _WORKER
+    batches, segments = _attach_batches(tuple(names), specs)
+    _WORKER = {
+        "app": app,
+        "engine": engine,
+        "batches": batches,
+        "segments": segments,  # keep attached for the worker's lifetime
+        "plan_key": None,
+        "simulator": None,
+    }
+
+
+def _simulate_slice(task) -> _ShardRaw:
     """Worker entry point: simulate scenarios ``[lo, hi)`` of each set.
 
-    Imports lazily so the module stays importable from
-    ``repro.runtime`` without dragging the evaluation package in at
-    import time (and to keep the function picklable by name).
+    ``plan_key`` identifies the plan across a fan-out: the compiled
+    ``BatchSimulator`` (decision tables included) is built on first
+    sight and reused for every fault count of the same plan.
     """
-    app, plan, n_scenarios, fault_counts, seed, engine, lo, hi = payload
-    from repro.evaluation.montecarlo import MonteCarloEvaluator
+    plan_key, plan, lo, hi = task
+    state = _WORKER
+    app = state["app"]
+    out: _ShardRaw = {}
+    if state["engine"] == "batched":
+        from repro.runtime.engine.batch import ScenarioBatch
+        from repro.runtime.engine.simulator import BatchSimulator
 
-    evaluator = MonteCarloEvaluator(
-        app,
-        n_scenarios=n_scenarios,
-        fault_counts=fault_counts,
-        seed=seed,
-        engine=engine,
-        jobs=1,
-    )
-    return {
-        faults: evaluator.simulate_raw(plan, scenarios[lo:hi])
-        for faults, scenarios in evaluator.scenarios.items()
-    }
+        if state["plan_key"] != plan_key:
+            state["simulator"] = BatchSimulator(app, plan)
+            state["plan_key"] = plan_key
+        simulator = state["simulator"]
+        for faults, batch in state["batches"].items():
+            piece = ScenarioBatch(
+                batch.names,
+                batch.durations[lo:hi],
+                batch.fault_counts[lo:hi],
+            )
+            result = simulator.run_batch(piece)
+            out[faults] = (
+                [float(u) for u in result.utilities],
+                int(result.deadline_miss.sum()),
+                int(result.switch_counts.sum()),
+                int(result.faults_observed.sum()),
+                result.n_fallback,
+            )
+    else:
+        from repro.evaluation.montecarlo import MonteCarloEvaluator
+        from repro.runtime.online import OnlineScheduler
+
+        scheduler = OnlineScheduler(app, plan, record_events=False)
+        for faults, batch in state["batches"].items():
+            out[faults] = MonteCarloEvaluator._reference_raw(
+                scheduler, [batch.scenario(i) for i in range(lo, hi)]
+            )
+    return out
+
+
+def _release(pool, segments) -> None:
+    """Tear down a pool and its shared segments (idempotent-by-use)."""
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+    for segment in segments:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
 
 
 class ParallelEvaluator:
     """Deterministic sharded version of the Monte-Carlo evaluation.
 
     Parameters mirror :class:`MonteCarloEvaluator`, plus ``jobs`` (the
-    worker count) and ``engine`` (which simulator each worker runs).
-    ``evaluate`` returns the same ``{fault count: EvaluationOutcome}``
-    mapping a single-process evaluator produces.
+    worker count), ``engine`` (which simulator each worker runs) and
+    ``source`` (an optional :class:`MonteCarloEvaluator` whose packed
+    scenario batches are shared instead of re-derived).  ``evaluate``
+    returns the same ``{fault count: EvaluationOutcome}`` mapping a
+    single-process evaluator produces.
     """
 
     def __init__(
@@ -70,6 +154,7 @@ class ParallelEvaluator:
         seed: int = 1,
         engine: str = "batched",
         jobs: int = 2,
+        source=None,
     ):
         if jobs < 1:
             raise RuntimeModelError(f"jobs must be positive, got {jobs}")
@@ -83,6 +168,128 @@ class ParallelEvaluator:
         self.seed = seed
         self.engine = engine
         self.jobs = jobs
+        # A provided source (the owning MonteCarloEvaluator) is held
+        # weakly: it owns *us*, and a strong back-reference would form
+        # a cycle that delays pool/segment release until a cyclic GC
+        # pass instead of freeing promptly by refcount.
+        self._source_ref = weakref.ref(source) if source is not None else None
+        self._own_source = None
+        self._pool = None
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._plan_counter = 0
+        self._plan_keys: Dict[int, Tuple[object, int]] = {}
+        self._finalizer = None
+
+    # ------------------------------------------------------------------
+    # Pool / shared-memory lifecycle
+    # ------------------------------------------------------------------
+    def _source(self) -> "MonteCarloEvaluator":
+        """The evaluator supplying scenario sets (derived if absent)."""
+        if self._source_ref is not None:
+            source = self._source_ref()
+            if source is not None:
+                return source
+        if self._own_source is None:
+            from repro.evaluation.montecarlo import MonteCarloEvaluator
+
+            self._own_source = MonteCarloEvaluator(
+                self.app,
+                n_scenarios=self.n_scenarios,
+                fault_counts=self.fault_counts,
+                seed=self.seed,
+                jobs=1,
+            )
+        return self._own_source
+
+    def _batches(self) -> Dict[int, "ScenarioBatch"]:
+        """Packed scenario sets, from the source (cached there)."""
+        source = self._source()
+        return {f: source._batch_for(f) for f in self.fault_counts}
+
+    def _spawn_pool(self, processes: int, names, specs):
+        """Create the worker pool (separate for spawn-count tests)."""
+        return multiprocessing.get_context().Pool(
+            processes=processes,
+            initializer=_worker_init,
+            initargs=(self.app, names, specs, self.engine),
+        )
+
+    def _publish(self, batches) -> Tuple[Tuple[str, ...], Dict[int, _BatchSpec]]:
+        """Copy the batch arrays into shared-memory segments."""
+        specs: Dict[int, _BatchSpec] = {}
+        names: Tuple[str, ...] = ()
+        for faults, batch in batches.items():
+            names = batch.names
+            durations = np.ascontiguousarray(batch.durations, dtype=np.int64)
+            fault_counts = np.ascontiguousarray(
+                batch.fault_counts, dtype=np.int64
+            )
+            durations_shm = shared_memory.SharedMemory(
+                create=True, size=durations.nbytes
+            )
+            fault_shm = shared_memory.SharedMemory(
+                create=True, size=fault_counts.nbytes
+            )
+            np.ndarray(
+                durations.shape, dtype=np.int64, buffer=durations_shm.buf
+            )[:] = durations
+            np.ndarray(
+                fault_counts.shape, dtype=np.int64, buffer=fault_shm.buf
+            )[:] = fault_counts
+            self._segments += [durations_shm, fault_shm]
+            specs[faults] = (durations_shm.name, durations.shape, fault_shm.name)
+        return names, specs
+
+    def _ensure_pool(self, processes: int) -> None:
+        if self._pool is not None:
+            return
+        try:
+            names, specs = self._publish(self._batches())
+            self._pool = self._spawn_pool(processes, names, specs)
+        except BaseException:
+            # Publish or spawn failed partway: unlink whatever was
+            # created now, or it survives in /dev/shm until exit.
+            _release(self._pool, self._segments)
+            self._pool = None
+            self._segments = []
+            raise
+        self._finalizer = weakref.finalize(
+            self, _release, self._pool, list(self._segments)
+        )
+
+    def close(self) -> None:
+        """Terminate the pool and unlink the shared segments."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        elif self._segments:  # published but never pooled
+            _release(self._pool, self._segments)
+        self._pool = None
+        self._segments = []
+        self._plan_keys.clear()
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _plan_key(self, plan) -> int:
+        """A stable identity for ``plan``, so re-evaluating the same
+        plan object reuses the workers' compiled simulators.
+
+        The plan is held strongly alongside its key: ``id()`` alone
+        could be recycled after a plan is garbage-collected.
+        """
+        entry = self._plan_keys.get(id(plan))
+        if entry is None or entry[0] is not plan:
+            self._plan_counter += 1
+            entry = (plan, self._plan_counter)
+            self._plan_keys[id(plan)] = entry
+        return entry[1]
 
     def _shard_bounds(self) -> List[Tuple[int, int]]:
         """Contiguous, near-equal scenario ranges, one per shard."""
@@ -100,39 +307,37 @@ class ParallelEvaluator:
         """Run all scenario sets against ``plan`` across the workers."""
         from repro.evaluation.montecarlo import EvaluationOutcome
 
-        payloads = [
-            (
-                self.app,
-                plan,
-                self.n_scenarios,
-                self.fault_counts,
-                self.seed,
-                self.engine,
-                lo,
-                hi,
-            )
-            for lo, hi in self._shard_bounds()
-        ]
-        if len(payloads) == 1:
-            shards = [_simulate_shard(payloads[0])]
-        else:
-            with multiprocessing.get_context().Pool(
-                processes=len(payloads)
-            ) as pool:
-                shards = pool.map(_simulate_shard, payloads)
+        bounds = self._shard_bounds()
+        if len(bounds) == 1:
+            # One shard: simulate in-process over the cached packed
+            # batches — no pool, no re-packing.
+            return self._source().evaluate(plan, engine=self.engine, jobs=1)
+        plan_key = self._plan_key(plan)
+        tasks = [(plan_key, plan, lo, hi) for lo, hi in bounds]
+        self._ensure_pool(len(tasks))
+        shards = self._pool.map(_simulate_slice, tasks)
         outcomes: Dict[int, EvaluationOutcome] = {}
         for faults in self.fault_counts:
             utilities: List[float] = []
-            misses = switches = observed = 0
+            misses = switches = observed = fallbacks = 0
             for shard in shards:
-                shard_utilities, shard_misses, shard_switches, shard_observed = shard[
-                    faults
-                ]
+                (
+                    shard_utilities,
+                    shard_misses,
+                    shard_switches,
+                    shard_observed,
+                    shard_fallbacks,
+                ) = shard[faults]
                 utilities.extend(shard_utilities)
                 misses += shard_misses
                 switches += shard_switches
                 observed += shard_observed
+                fallbacks += shard_fallbacks
             outcomes[faults] = EvaluationOutcome.aggregate(
-                utilities, misses, switches, observed
+                utilities, misses, switches, observed, fallbacks
             )
         return outcomes
+
+    def compare(self, plans) -> Dict[str, Dict[int, "EvaluationOutcome"]]:
+        """Evaluate several named plans over one persistent pool."""
+        return {name: self.evaluate(plan) for name, plan in plans.items()}

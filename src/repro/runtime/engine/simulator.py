@@ -14,15 +14,24 @@ by process in the oracle's completion order — the same IEEE-754
 operations in the same order, so results are bit-identical to
 :class:`~repro.runtime.online.OnlineScheduler`.
 
-The one thing the closed form cannot express is the online re-execute/
-drop decision for a *faulted soft process* (paper §2.2): it probes
-schedulability and compares expected utilities.  Scenarios whose fault
-pattern touches a soft process that any node schedules are therefore
-routed through the oracle itself — the fallback is the reference
-implementation, not an approximation of it.  Under the paper's fault
-model most fault scenarios hit hard processes or processes the plan
-never runs, so the vectorized share stays high (and is exposed as
-:attr:`BatchResult.fast_path` for the benches to report).
+Scenarios whose fault pattern touches a scheduled *soft* process need
+the online re-execute/drop decision (paper §2.2).  That decision is
+resolved against tables compiled per plan
+(:class:`~repro.runtime.engine.decisions.DecisionTables`): the S_iH
+schedulability probe collapses to one integer clock threshold per
+(node, position, attempt, remaining budget), and the keep-vs-drop
+utility comparison to a piecewise-constant boolean function of the
+clock — both exact, because the tables are evaluated with the same
+integer arithmetic and the same oracle float code the online scheduler
+runs.  Such scenarios take a position-stepped cohort path
+(:meth:`BatchSimulator._run_soft_cohorts`) that splits cohorts on the
+decision outcome (re-executed completers vs droppers) and on switch
+arcs.  The oracle fallback remains only for plans outside the state
+model — trees whose arcs revisit executed or dropped processes, or
+whose §2.2 probe the oracle itself would reject — so it is the
+reference implementation, never an approximation of it.  The
+vectorized share is exposed as :attr:`BatchResult.fast_path` and the
+residual oracle share as :attr:`BatchResult.n_fallback`.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from repro.runtime.engine.compile import (
     compile_application,
     compile_tree,
 )
+from repro.runtime.engine.decisions import DecisionTables
 from repro.runtime.online import OnlineScheduler
 from repro.scheduling.fschedule import FSchedule
 from repro.utility.stale import stale_coefficients
@@ -88,6 +98,27 @@ class _Cohort:
     chain: Tuple[int, ...]         # node ids switched through, in order
 
 
+@dataclass
+class _TableCohort:
+    """Cohort state of the table-driven (soft-fault) path.
+
+    Same invariant as :class:`_Cohort` — every member has executed and
+    dropped exactly the same processes in the same order — but tracked
+    position-by-position because §2.2 decisions can split the cohort
+    mid-node into completers and droppers.
+    """
+
+    node_id: int
+    position: int                  # next schedule position to execute
+    members: np.ndarray            # (M,) indices into the batch
+    clock: np.ndarray              # (M,) current time per member
+    observed: np.ndarray           # (M,) faults observed so far
+    completed_ids: Tuple[int, ...]  # completed process ids, in order
+    completed_times: np.ndarray    # (M, len(completed_ids))
+    dropped_ids: FrozenSet[int]    # soft ids dropped after faults
+    chain: Tuple[int, ...]         # node ids switched through, in order
+
+
 class BatchSimulator:
     """Vectorized executor of one plan with an oracle fallback.
 
@@ -105,6 +136,7 @@ class BatchSimulator:
         self.capp = compile_application(app)
         self.ctree = compile_tree(self.capp, plan)
         self._oracle = OnlineScheduler(app, plan, record_events=False)
+        self._tables = DecisionTables(self.capp, self.ctree, self._oracle)
         self._alphas_cache: Dict[FrozenSet[int], Dict[str, float]] = {}
 
     # ------------------------------------------------------------------
@@ -129,13 +161,16 @@ class BatchSimulator:
         faults = batch.fault_counts
         soft_scheduled = self.ctree.soft_scheduled_ids
         if soft_scheduled.size:
-            needs_oracle = (faults[:, soft_scheduled] > 0).any(axis=1)
+            needs_tables = (faults[:, soft_scheduled] > 0).any(axis=1)
         else:
-            needs_oracle = np.zeros(n, dtype=bool)
-        eligible = np.flatnonzero(~needs_oracle)
-        result.fast_path[eligible] = True
+            needs_tables = np.zeros(n, dtype=bool)
+        result.fast_path[:] = True
+        eligible = np.flatnonzero(~needs_tables)
         if eligible.size:
             self._run_cohorts(batch, eligible, result)
+        tabled = np.flatnonzero(needs_tables)
+        if tabled.size:
+            self._run_soft_cohorts(batch, tabled, result)
         for i in np.flatnonzero(~result.fast_path):
             self._run_oracle(batch, int(i), result)
         return result
@@ -293,6 +328,231 @@ class BatchSimulator:
                 )
 
     # ------------------------------------------------------------------
+    # Table-driven propagation for soft-faulted scenarios
+    # ------------------------------------------------------------------
+    def _run_soft_cohorts(
+        self,
+        batch: ScenarioBatch,
+        indices: np.ndarray,
+        result: BatchResult,
+    ) -> None:
+        """Position-stepped cohort propagation with §2.2 decisions.
+
+        Like :meth:`_run_cohorts`, but entries are advanced one
+        position at a time so that a faulted soft entry can split the
+        cohort into re-executed completers and droppers, resolved
+        against the compiled :class:`DecisionTables` instead of the
+        oracle.  The oracle keeps only the cases its own §2.2 probe
+        would reject (see :meth:`DecisionTables.probe_would_raise`) and
+        the malformed-tree bail-outs of the closed-form path.
+        """
+        width = batch.max_attempts
+        cum_dur = batch.attempt_cumsum()
+        last_dur = batch.durations[:, :, width - 1]
+        faults = batch.fault_counts
+        capp = self.capp
+        mu = capp.mu
+        k = capp.app.k
+        tables = self._tables
+        n_nodes = len(self.ctree.nodes)
+        stack: List[_TableCohort] = [
+            _TableCohort(
+                node_id=self.ctree.root_id,
+                position=0,
+                members=indices,
+                clock=np.zeros(indices.size, dtype=np.int64),
+                observed=np.zeros(indices.size, dtype=np.int64),
+                completed_ids=(),
+                completed_times=np.empty((indices.size, 0), dtype=np.int64),
+                dropped_ids=frozenset(),
+                chain=(),
+            )
+        ]
+        while stack:
+            cohort = stack.pop()
+            node = self.ctree.nodes[cohort.node_id]
+            # Same defensive bail-outs as the closed-form path, plus
+            # re-scheduling of a *dropped* process: the oracle would
+            # run it again (and its §2.2 probe would reject it on the
+            # next fault), so such trees stay on the reference path.
+            if cohort.position == 0 and (
+                len(cohort.chain) > n_nodes
+                or (node.entry_set & set(cohort.completed_ids))
+                or (node.entry_set & cohort.dropped_ids)
+            ):
+                result.fast_path[cohort.members] = False
+                continue
+            members = cohort.members
+            clock = cohort.clock
+            observed = cohort.observed
+            completed_ids = cohort.completed_ids
+            completed_times = cohort.completed_times
+            dropped_ids = cohort.dropped_ids
+            chain = cohort.chain
+            position = cohort.position
+            node_id = cohort.node_id
+            while position < node.n_entries and members.size:
+                pid = int(node.entry_ids[position])
+                f = faults[members, pid]
+                pid_cum = cum_dur[members, pid, :]
+                pid_last = last_dur[members, pid]
+                entry_mu = int(mu[pid])
+                n_members = members.size
+                rows = np.arange(n_members)
+                # Time of a full run: attempts 0..F plus F recoveries
+                # (identical to the closed form of ``_run_cohorts``).
+                clamped = np.minimum(f, width - 1)
+                spent = (
+                    pid_cum[rows, clamped]
+                    + (f - clamped) * pid_last
+                    + f * entry_mu
+                )
+                if capp.is_hard[pid] or not (f > 0).any():
+                    completer = rows
+                    comp_completion = clock + spent
+                    comp_observed = observed + f
+                    dropper = np.empty(0, dtype=np.int64)
+                    drop_clock = np.empty(0, dtype=np.int64)
+                    drop_obs = np.empty(0, dtype=np.int64)
+                else:
+                    reexec_cap = int(node.entry_caps[position])
+                    retrying = f > 0
+                    will_complete = ~retrying
+                    dropped_mask = np.zeros(n_members, dtype=bool)
+                    drop_at_clock = np.zeros(n_members, dtype=np.int64)
+                    drop_at_obs = np.zeros(n_members, dtype=np.int64)
+                    completed_set = frozenset(completed_ids)
+                    if reexec_cap > 0 and tables.probe_would_raise(
+                        node_id, position, completed_set
+                    ):
+                        routed = np.flatnonzero(retrying)
+                        result.fast_path[members[routed]] = False
+                        retrying[:] = False
+                    hard_missing = reexec_cap > 0 and tables.missing_hard(
+                        node_id, position, completed_set
+                    )
+                    benefit = None
+                    for a in range(int(f.max())):
+                        finished = retrying & (f == a)
+                        if finished.any():
+                            will_complete |= finished
+                            retrying &= ~finished
+                        deciders = np.flatnonzero(retrying)
+                        if deciders.size == 0:
+                            break
+                        # Fault of attempt ``a`` lands after attempts
+                        # 0..a and ``a`` recovery overheads.
+                        ca = min(a, width - 1)
+                        clock_a = (
+                            clock[deciders]
+                            + pid_cum[deciders, ca]
+                            + (a - ca) * pid_last[deciders]
+                            + a * entry_mu
+                        )
+                        obs_a = observed[deciders] + (a + 1)
+                        if a >= reexec_cap or hard_missing:
+                            keep = np.zeros(deciders.size, dtype=bool)
+                        else:
+                            budget = np.maximum(k - obs_a, 0)
+                            thresholds = tables.sched_thresholds(
+                                node_id, position, a
+                            )
+                            keep = clock_a <= thresholds[budget]
+                            kept = np.flatnonzero(keep)
+                            if kept.size:
+                                if benefit is None:
+                                    benefit = tables.benefit(
+                                        node_id, position, dropped_ids
+                                    )
+                                keep[kept] = benefit.lookup(clock_a[kept])
+                        dropping = deciders[~keep]
+                        if dropping.size:
+                            dropped_mask[dropping] = True
+                            drop_at_clock[dropping] = clock_a[~keep]
+                            drop_at_obs[dropping] = obs_a[~keep]
+                            retrying[dropping] = False
+                    will_complete |= retrying
+                    completer = np.flatnonzero(will_complete)
+                    comp_completion = clock[completer] + spent[completer]
+                    comp_observed = observed[completer] + f[completer]
+                    dropper = np.flatnonzero(dropped_mask)
+                    drop_clock = drop_at_clock[dropper]
+                    drop_obs = drop_at_obs[dropper]
+
+                arcs = node.arcs_at[position]
+                switched = np.zeros(completer.size, dtype=bool)
+                switch_target = np.full(completer.size, -1, dtype=np.int64)
+                if arcs and completer.size:
+                    undecided = ~switched
+                    for lo, hi, required, target in arcs:
+                        hit = (
+                            undecided
+                            & (comp_completion >= lo)
+                            & (comp_completion <= hi)
+                            & (comp_observed >= required)
+                        )
+                        if hit.any():
+                            switch_target[hit] = target
+                            switched |= hit
+                            undecided &= ~hit
+
+                new_completed_ids = completed_ids + (pid,)
+                for target in {int(t) for t in switch_target[switched]}:
+                    sel = np.flatnonzero(switched & (switch_target == target))
+                    local = completer[sel]
+                    stack.append(
+                        _TableCohort(
+                            node_id=target,
+                            position=0,
+                            members=members[local],
+                            clock=comp_completion[sel],
+                            observed=comp_observed[sel],
+                            completed_ids=new_completed_ids,
+                            completed_times=np.hstack(
+                                [
+                                    completed_times[local],
+                                    comp_completion[sel, None],
+                                ]
+                            ),
+                            dropped_ids=dropped_ids,
+                            chain=chain + (target,),
+                        )
+                    )
+                if dropper.size:
+                    stack.append(
+                        _TableCohort(
+                            node_id=node_id,
+                            position=position + 1,
+                            members=members[dropper],
+                            clock=drop_clock,
+                            observed=drop_obs,
+                            completed_ids=completed_ids,
+                            completed_times=completed_times[dropper],
+                            dropped_ids=dropped_ids | {pid},
+                            chain=chain,
+                        )
+                    )
+                cont = np.flatnonzero(~switched)
+                local = completer[cont]
+                members = members[local]
+                clock = comp_completion[cont]
+                observed = comp_observed[cont]
+                completed_times = np.hstack(
+                    [completed_times[local], comp_completion[cont, None]]
+                )
+                completed_ids = new_completed_ids
+                position += 1
+            if members.size:
+                self._finalize_members(
+                    members,
+                    completed_ids,
+                    completed_times,
+                    observed,
+                    chain,
+                    result,
+                )
+
+    # ------------------------------------------------------------------
     # Finalization
     # ------------------------------------------------------------------
     def _alphas(self, executed: FrozenSet[int]) -> Dict[str, float]:
@@ -318,15 +578,33 @@ class BatchSimulator:
         result: BatchResult,
     ) -> None:
         """Finalize the cohort members at ``local`` (cohort-relative)."""
+        self._finalize_members(
+            cohort.members[local],
+            cohort.prefix_ids + tuple(int(i) for i in node.entry_ids),
+            np.hstack([cohort.prefix_completions[local], node_completions]),
+            observed_final,
+            cohort.chain,
+            result,
+        )
+
+    def _finalize_members(
+        self,
+        members: np.ndarray,
+        completed_ids: Tuple[int, ...],
+        completed_times: np.ndarray,
+        observed_final: np.ndarray,
+        chain: Tuple[int, ...],
+        result: BatchResult,
+    ) -> None:
+        """Write final outcomes for members sharing one completed set.
+
+        Processes absent from ``completed_ids`` were dropped (soft) or
+        never ran (hard → deadline miss); both paths feed the same
+        stale-coefficient key, because the oracle's final dropped set
+        is exactly "every soft process that did not complete".
+        """
         capp = self.capp
-        members = cohort.members[local]
-        executed_ids = cohort.prefix_ids + tuple(
-            int(i) for i in node.entry_ids
-        )
-        all_completions = np.hstack(
-            [cohort.prefix_completions[local], node_completions]
-        )
-        executed_set = frozenset(executed_ids)
+        executed_set = frozenset(completed_ids)
         alphas = self._alphas(executed_set)
 
         utilities = np.zeros(members.size, dtype=np.float64)
@@ -338,8 +616,8 @@ class BatchSimulator:
         # Accumulate utility in completion order — the same order (and
         # therefore the same float rounding) as the oracle's finalize.
         period = capp.period
-        for column, pid in enumerate(executed_ids):
-            times = all_completions[:, column]
+        for column, pid in enumerate(completed_ids):
+            times = completed_times[:, column]
             if capp.is_hard[pid]:
                 misses |= times > capp.deadline[pid]
                 continue
@@ -352,10 +630,10 @@ class BatchSimulator:
 
         result.utilities[members] = utilities
         result.deadline_miss[members] = misses
-        result.switch_counts[members] = len(cohort.chain)
+        result.switch_counts[members] = len(chain)
         result.faults_observed[members] = observed_final
         for i in members:
-            result.switch_chains[int(i)] = cohort.chain
+            result.switch_chains[int(i)] = chain
 
 
 def simulate_batch(

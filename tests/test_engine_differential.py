@@ -138,8 +138,8 @@ def test_faulted_scenarios_use_fast_path_when_hard_only(fig1_app):
 
 
 @engine_smoke
-def test_soft_faulted_scenarios_fall_back_to_oracle(fig1_app):
-    """Faulted soft processes exercise §2.2 logic → oracle fallback."""
+def test_soft_faulted_scenarios_stay_vectorized(fig1_app):
+    """Faulted soft processes resolve via the compiled §2.2 tables."""
     from repro.faults.injection import average_case_scenario
     from repro.faults.model import FaultScenario
 
@@ -153,7 +153,59 @@ def test_soft_faulted_scenarios_fall_back_to_oracle(fig1_app):
         app, FaultScenario.of({scheduled_soft[0]: 1})
     )
     result = _assert_identical(app, root, [scenario])
-    assert result.n_fallback == 1
+    assert result.n_fallback == 0
+    assert result.faults_observed[0] == 1
+
+
+@engine_smoke
+def test_fault_heavy_corpus_stays_on_tables(engine_full):
+    """Fault-heavy, soft-dense corpus: bit-identical with zero fallback.
+
+    Fault counts ≥ 2 on soft-dense plans hammer the compiled §2.2
+    decision tables (re-execution chains, drops, post-drop benefit
+    tables).  Every fault pattern here is re-execution-reachable — the
+    plans are well-formed trees — so *no* scenario may leave the
+    vectorized path.
+    """
+    n_scenarios = 120 if engine_full else 25
+    apps = [
+        ("fig8", paper_fig8_application()),  # k = 2, the paper's §5 example
+        ("cc", cruise_controller()),         # k = 2, 32 processes
+        (
+            "rand-soft-k3",
+            generate_application(
+                WorkloadSpec(n_processes=12, soft_ratio=0.8, k=3), seed=31
+            ),
+        ),
+        (
+            "rand-soft-k2",
+            generate_application(
+                WorkloadSpec(n_processes=16, soft_ratio=0.7, k=2), seed=44
+            ),
+        ),
+    ]
+    checked = 0
+    for app_label, app in apps:
+        root = ftss(app)
+        assert root is not None, f"{app_label}: unschedulable corpus app"
+        heavy_counts = [f for f in range(2, app.k + 1)]
+        assert heavy_counts, f"{app_label}: needs k >= 2 for this corpus"
+        evaluator = MonteCarloEvaluator(
+            app, n_scenarios=n_scenarios, fault_counts=heavy_counts, seed=29
+        )
+        plans = [
+            ("ftss", root),
+            ("ftqs-6", ftqs(app, root, FTQSConfig(max_schedules=6))),
+        ]
+        for plan_label, plan in plans:
+            for faults, scenarios in evaluator.scenarios.items():
+                result = _assert_identical(app, plan, scenarios)
+                assert result.n_fallback == 0, (
+                    f"{app_label}/{plan_label}/f={faults}: "
+                    f"{result.n_fallback} scenarios left the table path"
+                )
+                checked += 1
+    assert checked > 0
 
 
 @engine_smoke

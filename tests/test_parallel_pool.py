@@ -1,0 +1,107 @@
+"""Worker-pool lifecycle of the sharded evaluator.
+
+The whole point of the persistent pool is that comparing many plans
+pays the fork + shared-memory publication cost once — these tests pin
+that down by counting pool spawns, and check that teardown releases
+the shared segments and that a closed evaluator can be used again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.montecarlo import MonteCarloEvaluator
+from repro.runtime.engine.parallel import ParallelEvaluator
+from repro.scheduling.ftss import ftss
+
+
+@pytest.fixture
+def counted_spawns(monkeypatch):
+    """Patch ParallelEvaluator._spawn_pool to count pool creations."""
+    spawns = []
+    original = ParallelEvaluator._spawn_pool
+
+    def counting(self, processes, names, specs):
+        spawns.append(processes)
+        return original(self, processes, names, specs)
+
+    monkeypatch.setattr(ParallelEvaluator, "_spawn_pool", counting)
+    return spawns
+
+
+def test_pool_spawned_once_across_evaluates(fig1_app, counted_spawns):
+    """evaluate() × n and compare() share one pool per evaluator."""
+    plan = ftss(fig1_app)
+    with MonteCarloEvaluator(
+        fig1_app, n_scenarios=20, fault_counts=[0, 1], seed=3,
+        engine="batched", jobs=2,
+    ) as evaluator:
+        first = evaluator.evaluate(plan)
+        second = evaluator.evaluate(plan)
+        compared = evaluator.compare({"a": plan, "b": plan})
+    assert counted_spawns == [2], (
+        f"expected exactly one 2-worker pool spawn, saw {counted_spawns}"
+    )
+    for faults in (0, 1):
+        assert first[faults].utilities == second[faults].utilities
+        assert compared["a"][faults].utilities == first[faults].utilities
+
+
+def test_montecarlo_caches_parallel_evaluator(fig1_app):
+    evaluator = MonteCarloEvaluator(
+        fig1_app, n_scenarios=5, fault_counts=[0], seed=3
+    )
+    try:
+        assert evaluator.parallel("batched", 2) is (
+            evaluator.parallel("batched", 2)
+        )
+        assert evaluator.parallel("batched", 2) is not (
+            evaluator.parallel("batched", 3)
+        )
+    finally:
+        evaluator.close()
+
+
+def test_single_shard_runs_in_process(fig1_app, counted_spawns):
+    """jobs=1 (or one scenario) never pays for a pool."""
+    plan = ftss(fig1_app)
+    with ParallelEvaluator(
+        fig1_app, n_scenarios=8, fault_counts=[0], seed=5,
+        engine="batched", jobs=1,
+    ) as evaluator:
+        evaluator.evaluate(plan)
+    assert counted_spawns == []
+
+
+def test_close_releases_and_respawns(fig1_app, counted_spawns):
+    """close() tears the pool down; the next evaluate() respawns."""
+    plan = ftss(fig1_app)
+    evaluator = ParallelEvaluator(
+        fig1_app, n_scenarios=16, fault_counts=[0], seed=7,
+        engine="batched", jobs=2,
+    )
+    try:
+        before = evaluator.evaluate(plan)
+        assert counted_spawns == [2]
+        evaluator.close()
+        assert evaluator._segments == []
+        after = evaluator.evaluate(plan)
+        assert counted_spawns == [2, 2]
+        assert before[0].utilities == after[0].utilities
+    finally:
+        evaluator.close()
+
+
+def test_outcomes_carry_fallback_counts(fig1_app):
+    """Fallback counts merge across shards and engines coherently."""
+    plan = ftss(fig1_app)
+    with MonteCarloEvaluator(
+        fig1_app, n_scenarios=12, fault_counts=[0, 1], seed=9
+    ) as evaluator:
+        batched = evaluator.evaluate(plan, engine="batched", jobs=2)
+        reference = evaluator.evaluate(plan, engine="reference", jobs=2)
+    for faults in (0, 1):
+        assert batched[faults].fallbacks == 0
+        assert batched[faults].fast_path_share == 1.0
+        assert reference[faults].fallbacks == 12
+        assert reference[faults].fast_path_share == 0.0
