@@ -1,0 +1,28 @@
+"""Repo-wide pytest options.
+
+``--synthesis-full`` is registered here (rather than in
+``tests/conftest.py`` or ``benchmarks/conftest.py``) because both
+suites consume it: the synthesis differential corpus
+(``tests/test_synthesis_differential.py``) expands from its tier-1
+smoke slice to the full randomized corpus, and the synthesis bench
+(``benchmarks/test_bench_synthesis.py``) extends the measured Table 1
+tree-size axis to the paper's full M sweep.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--synthesis-full",
+        action="store_true",
+        default=False,
+        help="run the full synthesis differential corpus / bench axes "
+        "(slow); the default is a tier-1-safe smoke slice",
+    )
+
+
+@pytest.fixture(scope="session")
+def synthesis_full(request):
+    """True when ``--synthesis-full`` was passed (full corpus opt-in)."""
+    return request.config.getoption("--synthesis-full")

@@ -120,6 +120,9 @@ def synthesis_report(
     seed: int = 1,
     engine: str = "batched",
     jobs: int = 1,
+    synthesis: str = "fast",
+    synthesis_jobs: int = 1,
+    stats=None,
 ) -> SynthesisReport:
     """Run the full pipeline on ``app`` and assemble the report."""
     root = ftss(app)
@@ -127,15 +130,22 @@ def synthesis_report(
         raise UnschedulableError(
             "the application admits no fault-tolerant schedule"
         )
-    tree = ftqs(app, root, FTQSConfig(max_schedules=max_schedules))
+    tree = ftqs(
+        app,
+        root,
+        FTQSConfig(max_schedules=max_schedules),
+        synthesis=synthesis,
+        jobs=synthesis_jobs,
+        stats=stats,
+    )
     baseline = ftsf(app)
     plans = {"FTQS": tree, "FTSS": root}
     if baseline is not None:
         plans["FTSF"] = baseline
-    evaluator = MonteCarloEvaluator(
+    with MonteCarloEvaluator(
         app, n_scenarios=n_scenarios, seed=seed, engine=engine, jobs=jobs
-    )
-    results = evaluator.compare(plans)
+    ) as evaluator:
+        results = evaluator.compare(plans)
     utilities = normalized_to(results, "FTQS", reference_faults=0)
     return SynthesisReport(
         app=app,

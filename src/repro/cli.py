@@ -38,30 +38,60 @@ from repro.evaluation.experiments import (
 )
 
 
+def _synthesis_routing(args: argparse.Namespace):
+    """(kwargs for run_*, stats collector or None) from the CLI flags."""
+    from repro.quasistatic.synthesis import SynthesisStats
+
+    stats = SynthesisStats() if args.synthesis == "fast" else None
+    return (
+        {
+            "synthesis": args.synthesis,
+            "synthesis_jobs": args.synthesis_jobs,
+            "stats": stats,
+        },
+        stats,
+    )
+
+
+def _print_synthesis_line(stats) -> None:
+    """Construction summary mirroring the simulate fast-path line."""
+    if stats is not None and stats.trees_built:
+        print(stats.summary_line())
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name
     routing = {"engine": args.engine, "jobs": args.jobs}
+    synthesis, stats = _synthesis_routing(args)
     if name in ("fig9a", "fig9b"):
         config = (
             Fig9Config.paper_scale() if args.paper_scale else Fig9Config()
         )
         if args.apps:
             config = replace(config, apps_per_size=args.apps)
-        rows = run_fig9(replace(config, **routing))
+        rows = run_fig9(replace(config, **routing), **synthesis)
         print(format_fig9(rows, panel="a" if name == "fig9a" else "b"))
+        _print_synthesis_line(stats)
         return 0
     if name == "table1":
         config = (
             Table1Config.paper_scale() if args.paper_scale else Table1Config()
         )
-        print(format_table1(run_table1(replace(config, **routing))))
+        print(format_table1(run_table1(replace(config, **routing), **synthesis)))
+        _print_synthesis_line(stats)
         return 0
     if name == "cc":
         config = CCConfig.paper_scale() if args.paper_scale else CCConfig()
-        print(run_cc(replace(config, **routing)).format())
+        print(run_cc(replace(config, **routing), **synthesis).format())
+        _print_synthesis_line(stats)
         return 0
     if name == "ablations":
-        print(format_ablations(run_ablations(AblationConfig(**routing))))
+        print(
+            format_ablations(
+                run_ablations(AblationConfig(**routing), **synthesis)
+            )
+        )
+        _print_synthesis_line(stats)
         return 0
     if name == "sweeps":
         from repro.evaluation.experiments import (
@@ -72,13 +102,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
 
         config = SweepConfig(**routing)
-        print(format_sweep(run_soft_ratio_sweep(config=config), "soft ratio"))
+        print(
+            format_sweep(
+                run_soft_ratio_sweep(config=config, **synthesis),
+                "soft ratio",
+            )
+        )
         print()
         print(
             format_sweep(
-                run_fault_budget_sweep(config=config), "fault budget k"
+                run_fault_budget_sweep(config=config, **synthesis),
+                "fault budget k",
             )
         )
+        _print_synthesis_line(stats)
         return 0
     print(f"unknown experiment {name!r}", file=sys.stderr)
     return 2
@@ -111,10 +148,18 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     from repro.quasistatic.ftqs import schedule_application
 
     app = application_from_dict(load_json(args.application))
-    result = schedule_application(app, max_schedules=args.schedules)
+    synthesis, stats = _synthesis_routing(args)
+    result = schedule_application(
+        app,
+        max_schedules=args.schedules,
+        synthesis=args.synthesis,
+        jobs=args.synthesis_jobs,
+        stats=stats,
+    )
     output = args.output or args.application.replace(".json", ".tree.json")
     save_json(tree_to_dict(result.tree), output)
     print(f"{result.summary()}\nwritten to {output}")
+    _print_synthesis_line(stats)
     return 0
 
 
@@ -176,6 +221,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.io.json_io import application_from_dict, load_json
 
     app = application_from_dict(load_json(args.application))
+    _, stats = _synthesis_routing(args)
     report = synthesis_report(
         app,
         max_schedules=args.schedules,
@@ -183,8 +229,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         jobs=args.jobs,
+        synthesis=args.synthesis,
+        synthesis_jobs=args.synthesis_jobs,
+        stats=stats,
     )
     print(report.to_markdown())
+    _print_synthesis_line(stats)
     return 0
 
 
@@ -203,6 +253,27 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for the Monte-Carlo evaluation "
         "(deterministic for any count)",
+    )
+
+
+def _add_synthesis_options(parser: argparse.ArgumentParser) -> None:
+    """Synthesis-engine routing flags shared by the sub-commands."""
+    from repro.quasistatic.ftqs import SYNTHESIS_ENGINES
+
+    parser.add_argument(
+        "--synthesis",
+        choices=list(SYNTHESIS_ENGINES),
+        default="fast",
+        help="FTQS synthesis engine: the reference construction or the "
+        "memoized/vectorized engine (identical trees, several times "
+        "faster)",
+    )
+    parser.add_argument(
+        "--synthesis-jobs",
+        type=int,
+        default=1,
+        help="worker processes for FTQS candidate evaluation "
+        "(identical trees for any count)",
     )
 
 
@@ -229,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--apps", type=int, default=0, help="apps per size")
     _add_engine_options(exp)
+    _add_synthesis_options(exp)
     exp.set_defaults(func=_cmd_experiment)
 
     demo = sub.add_parser("demo", help="run the Fig. 1 example")
@@ -241,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("application", help="application JSON file")
     sched.add_argument("--schedules", type=int, default=16)
     sched.add_argument("--output", default=None)
+    _add_synthesis_options(sched)
     sched.set_defaults(func=_cmd_schedule)
 
     sim = sub.add_parser("simulate", help="replay scenarios against a tree")
@@ -264,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scenarios", type=int, default=200)
     report.add_argument("--seed", type=int, default=1)
     _add_engine_options(report)
+    _add_synthesis_options(report)
     report.set_defaults(func=_cmd_report)
     return parser
 

@@ -71,13 +71,20 @@ class AblationRow:
     schedulable_fraction: float = 1.0  # apps this config could schedule
 
 
-def _build_plans(app, root, config: AblationConfig):
+def _build_plans(
+    app, root, config: AblationConfig, synthesis, synthesis_jobs, stats
+):
     """All ablated plans for one application (None entries skipped)."""
     plans = {}
     for name, ftss_config in ABLATED_FTSS_CONFIGS.items():
         plan = ftss(app, config=ftss_config)
         if plan is not None:
             plans[name] = plan
+    routing = {
+        "synthesis": synthesis,
+        "jobs": synthesis_jobs,
+        "stats": stats,
+    }
     plans["no-intervals"] = ftqs(
         app,
         root,
@@ -85,6 +92,7 @@ def _build_plans(app, root, config: AblationConfig):
             max_schedules=config.max_schedules,
             use_interval_partitioning=False,
         ),
+        **routing,
     )
     plans["no-fault-children"] = ftqs(
         app,
@@ -93,15 +101,22 @@ def _build_plans(app, root, config: AblationConfig):
             max_schedules=config.max_schedules,
             fault_children=False,
         ),
+        **routing,
     )
     plans["ftqs-default"] = ftqs(
-        app, root, FTQSConfig(max_schedules=config.max_schedules)
+        app, root, FTQSConfig(max_schedules=config.max_schedules), **routing
     )
     plans["ftss-default"] = root
     return plans
 
 
-def run_ablations(config: AblationConfig = AblationConfig()) -> List[AblationRow]:
+def run_ablations(
+    config: AblationConfig = AblationConfig(),
+    *,
+    synthesis: str = "fast",
+    synthesis_jobs: int = 1,
+    stats=None,
+) -> List[AblationRow]:
     """Run all ablations; utilities are normalized to ``ftss-default``.
 
     The FTSS ablations answer "how much does this FTSS design choice
@@ -124,46 +139,52 @@ def run_ablations(config: AblationConfig = AblationConfig()) -> List[AblationRow
         root = ftss(app)
         if root is None:
             continue
-        plans = _build_plans(app, root, config)
+        plans = _build_plans(
+            app, root, config, synthesis, synthesis_jobs, stats
+        )
         for name in ABLATED_FTSS_CONFIGS:
             scheduled_counts.setdefault(name, 0)
             if name in plans:
                 scheduled_counts[name] += 1
-        evaluator = MonteCarloEvaluator(
+        with MonteCarloEvaluator(
             app,
             n_scenarios=config.n_scenarios,
             fault_counts=list(range(config.k + 1)),
             seed=config.seed + produced,
             engine=config.engine,
             jobs=config.jobs,
-        )
-        results = evaluator.compare(plans)
-        base = results["ftss-default"]
-        for name, outcome in results.items():
-            for faults in range(config.k + 1):
-                denom = base[faults].mean_utility
-                if denom <= 0:
-                    continue
-                table.add(
-                    name,
-                    faults,
-                    100.0 * outcome[faults].mean_utility / denom,
-                )
-        if config.include_replanner:
-            utils = []
-            seconds = []
-            for scenario in evaluator.scenarios[0][: config.replanner_scenarios]:
-                outcome = run_replanning(app, scenario)
-                utils.append(outcome.result.utility)
-                seconds.append(outcome.scheduling_seconds)
-            denom = base[0].mean_utility
-            if denom > 0 and utils:
-                table.add(
-                    "online-replan", 0, 100.0 * float(np.mean(utils)) / denom
-                )
-                overhead.setdefault("online-replan", []).append(
-                    1000.0 * float(np.mean(seconds))
-                )
+        ) as evaluator:
+            results = evaluator.compare(plans)
+            base = results["ftss-default"]
+            for name, outcome in results.items():
+                for faults in range(config.k + 1):
+                    denom = base[faults].mean_utility
+                    if denom <= 0:
+                        continue
+                    table.add(
+                        name,
+                        faults,
+                        100.0 * outcome[faults].mean_utility / denom,
+                    )
+            if config.include_replanner:
+                utils = []
+                seconds = []
+                for scenario in evaluator.scenarios[0][
+                    : config.replanner_scenarios
+                ]:
+                    outcome = run_replanning(app, scenario)
+                    utils.append(outcome.result.utility)
+                    seconds.append(outcome.scheduling_seconds)
+                denom = base[0].mean_utility
+                if denom > 0 and utils:
+                    table.add(
+                        "online-replan",
+                        0,
+                        100.0 * float(np.mean(utils)) / denom,
+                    )
+                    overhead.setdefault("online-replan", []).append(
+                        1000.0 * float(np.mean(seconds))
+                    )
         produced += 1
 
     rows: List[AblationRow] = []

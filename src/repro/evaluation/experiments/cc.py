@@ -76,7 +76,13 @@ class CCReport:
         )
 
 
-def run_cc(config: CCConfig = CCConfig()) -> CCReport:
+def run_cc(
+    config: CCConfig = CCConfig(),
+    *,
+    synthesis: str = "fast",
+    synthesis_jobs: int = 1,
+    stats=None,
+) -> CCReport:
     """Run the CC case study and return the measured report."""
     app = cruise_controller()
     root = ftss(app)
@@ -85,19 +91,26 @@ def run_cc(config: CCConfig = CCConfig()) -> CCReport:
     baseline = ftsf(app)
     if baseline is None:
         raise UnschedulableError("FTSF failed on the cruise controller")
-    tree = ftqs(app, root, FTQSConfig(max_schedules=config.max_schedules))
+    tree = ftqs(
+        app,
+        root,
+        FTQSConfig(max_schedules=config.max_schedules),
+        synthesis=synthesis,
+        jobs=synthesis_jobs,
+        stats=stats,
+    )
 
-    evaluator = MonteCarloEvaluator(
+    with MonteCarloEvaluator(
         app,
         n_scenarios=config.n_scenarios,
         fault_counts=[0, 1, 2],
         seed=config.seed,
         engine=config.engine,
         jobs=config.jobs,
-    )
-    results = evaluator.compare(
-        {"FTQS": tree, "FTSS": root, "FTSF": baseline}
-    )
+    ) as evaluator:
+        results = evaluator.compare(
+            {"FTQS": tree, "FTSS": root, "FTSF": baseline}
+        )
     percents = normalized_to(results, "FTQS", reference_faults=0)
 
     ftqs0 = results["FTQS"][0].mean_utility

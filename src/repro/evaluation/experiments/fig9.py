@@ -64,6 +64,10 @@ class Fig9Row:
 def run_fig9(
     config: Fig9Config = Fig9Config(),
     faults_for_statics: Tuple[int, ...] = (0, 3),
+    *,
+    synthesis: str = "fast",
+    synthesis_jobs: int = 1,
+    stats=None,
 ) -> List[Fig9Row]:
     """Run the Fig. 9 experiment; returns all (size, approach, faults)
     points for both panels.
@@ -71,6 +75,9 @@ def run_fig9(
     For each application: build FTSS (static), FTSF (baseline) and the
     FTQS tree, replay identical scenario sets for each fault count
     against all three, and normalize mean utilities to FTQS/no-faults.
+    One evaluator serves all three plans of an application (with
+    ``jobs > 1``: one worker pool per application, released before the
+    next one starts).
     """
     rng = np.random.default_rng(config.seed)
     tables: Dict[int, NormalizedTable] = {s: NormalizedTable() for s in config.sizes}
@@ -89,18 +96,25 @@ def run_fig9(
             baseline = ftsf(app)
             if baseline is None:
                 continue
-            tree = ftqs(app, root, FTQSConfig(max_schedules=config.max_schedules))
-            evaluator = MonteCarloEvaluator(
+            tree = ftqs(
+                app,
+                root,
+                FTQSConfig(max_schedules=config.max_schedules),
+                synthesis=synthesis,
+                jobs=synthesis_jobs,
+                stats=stats,
+            )
+            with MonteCarloEvaluator(
                 app,
                 n_scenarios=config.n_scenarios,
                 fault_counts=list(range(config.k + 1)),
                 seed=config.seed + produced,
                 engine=config.engine,
                 jobs=config.jobs,
-            )
-            results = evaluator.compare(
-                {"FTQS": tree, "FTSS": root, "FTSF": baseline}
-            )
+            ) as evaluator:
+                results = evaluator.compare(
+                    {"FTQS": tree, "FTSS": root, "FTSF": baseline}
+                )
             percents = normalized_to(results, "FTQS", reference_faults=0)
             for approach, per_fault in percents.items():
                 for faults, percent in per_fault.items():

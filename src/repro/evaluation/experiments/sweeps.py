@@ -57,7 +57,12 @@ class SweepRow:
 
 
 def _evaluate_point(
-    spec: WorkloadSpec, config: SweepConfig, rng: np.random.Generator
+    spec: WorkloadSpec,
+    config: SweepConfig,
+    rng: np.random.Generator,
+    synthesis: str = "fast",
+    synthesis_jobs: int = 1,
+    stats=None,
 ) -> SweepRow:
     gains: List[float] = []
     dropped: List[float] = []
@@ -71,18 +76,25 @@ def _evaluate_point(
         if root is None:
             continue
         start = time.perf_counter()
-        tree = ftqs(app, root, FTQSConfig(max_schedules=config.max_schedules))
+        tree = ftqs(
+            app,
+            root,
+            FTQSConfig(max_schedules=config.max_schedules),
+            synthesis=synthesis,
+            jobs=synthesis_jobs,
+            stats=stats,
+        )
         build.append(time.perf_counter() - start)
         fault_counts = [0] if app.k == 0 else [0, min(1, app.k)]
-        evaluator = MonteCarloEvaluator(
+        with MonteCarloEvaluator(
             app,
             n_scenarios=config.n_scenarios,
             fault_counts=fault_counts,
             seed=config.seed + produced,
             engine=config.engine,
             jobs=config.jobs,
-        )
-        results = evaluator.compare({"tree": tree, "root": root})
+        ) as evaluator:
+            results = evaluator.compare({"tree": tree, "root": root})
         base = results["root"][0].mean_utility
         if base > 0:
             gains.append(
@@ -107,6 +119,10 @@ def run_soft_ratio_sweep(
     ratios: Tuple[float, ...] = (0.2, 0.35, 0.5, 0.65, 0.8),
     config: SweepConfig = SweepConfig(),
     k: int = 3,
+    *,
+    synthesis: str = "fast",
+    synthesis_jobs: int = 1,
+    stats=None,
 ) -> List[SweepRow]:
     """Sweep the soft-process fraction at fixed k."""
     rng = np.random.default_rng(config.seed)
@@ -119,7 +135,9 @@ def run_soft_ratio_sweep(
             mu=config.mu,
             period_pressure_range=config.period_pressure,
         )
-        row = _evaluate_point(spec, config, rng)
+        row = _evaluate_point(
+            spec, config, rng, synthesis, synthesis_jobs, stats
+        )
         row.parameter = ratio
         rows.append(row)
     return rows
@@ -129,6 +147,10 @@ def run_fault_budget_sweep(
     budgets: Tuple[int, ...] = (0, 1, 2, 3, 4),
     config: SweepConfig = SweepConfig(),
     soft_ratio: float = 0.5,
+    *,
+    synthesis: str = "fast",
+    synthesis_jobs: int = 1,
+    stats=None,
 ) -> List[SweepRow]:
     """Sweep the fault budget k at a fixed hard/soft mix."""
     rng = np.random.default_rng(config.seed)
@@ -141,7 +163,9 @@ def run_fault_budget_sweep(
             mu=config.mu,
             period_pressure_range=config.period_pressure,
         )
-        row = _evaluate_point(spec, config, rng)
+        row = _evaluate_point(
+            spec, config, rng, synthesis, synthesis_jobs, stats
+        )
         row.parameter = float(k)
         rows.append(row)
     return rows

@@ -54,8 +54,27 @@ class Table1Row:
     n_apps: int
 
 
-def run_table1(config: Table1Config = Table1Config()) -> List[Table1Row]:
-    """Run the tree-size sweep; returns one row per M."""
+def run_table1(
+    config: Table1Config = Table1Config(),
+    *,
+    synthesis: str = "fast",
+    synthesis_jobs: int = 1,
+    stats=None,
+) -> List[Table1Row]:
+    """Run the tree-size sweep; returns one row per M.
+
+    The loop runs application-outer: each application's evaluator (and
+    with ``jobs > 1`` its persistent worker pool + shared-memory
+    scenario segments) is reused across the *whole* M sweep — baseline
+    plus every tree size, one pool spawn instead of one per evaluate —
+    and released deterministically before the next application starts
+    (so at most one pool is alive at a time, and none survives the
+    driver).  Values are re-aggregated in the original (M, application)
+    order, so the reported rows are unchanged.
+
+    ``synthesis``/``synthesis_jobs``/``stats`` route to :func:`ftqs` —
+    the construction-time column measures the selected engine.
+    """
     rng = np.random.default_rng(config.seed)
     spec = WorkloadSpec(
         n_processes=config.n_processes,
@@ -63,8 +82,12 @@ def run_table1(config: Table1Config = Table1Config()) -> List[Table1Row]:
         k=config.k,
         mu=config.mu,
     )
-    apps = []
-    while len(apps) < config.n_apps:
+    percents: Dict[int, List[Tuple[int, float]]] = {
+        m: [] for m in config.tree_sizes
+    }
+    runtimes: Dict[int, float] = {m: 0.0 for m in config.tree_sizes}
+    produced = 0
+    while produced < config.n_apps:
         app = generate_application(spec, rng=rng)
         root = ftss(app)
         if root is None:
@@ -73,45 +96,48 @@ def run_table1(config: Table1Config = Table1Config()) -> List[Table1Row]:
             app,
             n_scenarios=config.n_scenarios,
             fault_counts=list(range(config.k + 1)),
-            seed=config.seed + len(apps),
+            seed=config.seed + produced,
             engine=config.engine,
             jobs=config.jobs,
         )
-        baseline = evaluator.evaluate(root)
-        # With jobs > 1 every evaluator would otherwise keep its
-        # worker pool and shared-memory segments alive for the whole
-        # sweep (n_apps pools at once); close after each use — the
-        # pool respawns on the next evaluate, bounding concurrency at
-        # one pool without losing the per-evaluate amortization.
-        evaluator.close()
-        if baseline[0].mean_utility <= 0:
-            continue
-        apps.append((app, root, evaluator, baseline))
+        try:
+            baseline = evaluator.evaluate(root)
+            if baseline[0].mean_utility <= 0:
+                continue
+            for m in config.tree_sizes:
+                start = time.perf_counter()
+                if m == 1:
+                    plan = root
+                else:
+                    plan = ftqs(
+                        app,
+                        root,
+                        FTQSConfig(max_schedules=m),
+                        synthesis=synthesis,
+                        jobs=synthesis_jobs,
+                        stats=stats,
+                    )
+                runtimes[m] += time.perf_counter() - start
+                outcome = evaluator.evaluate(plan)
+                for faults in range(config.k + 1):
+                    base = baseline[faults].mean_utility
+                    if base <= 0:
+                        continue
+                    percents[m].append(
+                        (
+                            faults,
+                            100.0 * outcome[faults].mean_utility / base,
+                        )
+                    )
+            produced += 1
+        finally:
+            evaluator.close()
 
     rows: List[Table1Row] = []
     for m in config.tree_sizes:
         table = NormalizedTable()
-        total_runtime = 0.0
-        for app, root, evaluator, baseline in apps:
-            start = time.perf_counter()
-            if m == 1:
-                plan = root
-            else:
-                plan = ftqs(app, root, FTQSConfig(max_schedules=m))
-            total_runtime += time.perf_counter() - start
-            try:
-                outcome = evaluator.evaluate(plan)
-            finally:
-                evaluator.close()
-            for faults in range(config.k + 1):
-                base = baseline[faults].mean_utility
-                if base <= 0:
-                    continue
-                table.add(
-                    "FTQS",
-                    faults,
-                    100.0 * outcome[faults].mean_utility / base,
-                )
+        for faults, percent in percents[m]:
+            table.add("FTQS", faults, percent)
         rows.append(
             Table1Row(
                 nodes=m,
@@ -119,8 +145,8 @@ def run_table1(config: Table1Config = Table1Config()) -> List[Table1Row]:
                     faults: table.cell("FTQS", faults).mean
                     for faults in range(config.k + 1)
                 },
-                runtime_seconds=total_runtime / max(1, len(apps)),
-                n_apps=len(apps),
+                runtime_seconds=runtimes[m] / max(1, produced),
+                n_apps=produced,
             )
         )
     return rows

@@ -3,13 +3,20 @@
 from repro.quasistatic.ftqs import (
     DEFAULT_FTQS_CONFIG,
     FTQSConfig,
+    SYNTHESIS_ENGINES,
     SchedulingStrategyResult,
     best_case_completion,
     create_subschedules,
     ftqs,
+    ftqs_reference,
     interval_partitioning,
     schedule_application,
     worst_case_completion,
+)
+from repro.quasistatic.synthesis import (
+    SynthesisEngine,
+    SynthesisStats,
+    ftqs_fast,
 )
 from repro.quasistatic.intervals import (
     TailProfile,
@@ -28,6 +35,7 @@ from repro.quasistatic.tree import QSNode, QSTree, SwitchArc
 __all__ = [
     "DEFAULT_FTQS_CONFIG",
     "FTQSConfig",
+    "SYNTHESIS_ENGINES",
     "QSNode",
     "QSTree",
     "SchedulingStrategyResult",
@@ -38,6 +46,10 @@ __all__ = [
     "create_subschedules",
     "find_most_similar_unexpanded",
     "ftqs",
+    "ftqs_fast",
+    "ftqs_reference",
+    "SynthesisEngine",
+    "SynthesisStats",
     "interval_partitioning",
     "latest_safe_start",
     "order_similarity",

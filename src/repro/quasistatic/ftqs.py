@@ -89,6 +89,9 @@ class FTQSConfig:
 
 DEFAULT_FTQS_CONFIG = FTQSConfig()
 
+#: The interchangeable tree-construction engines of :func:`ftqs`.
+SYNTHESIS_ENGINES = ("reference", "fast")
+
 
 def best_case_completion(
     app: Application, node_schedule: FSchedule, position: int, faults: int
@@ -328,8 +331,45 @@ def ftqs(
     app: Application,
     root_schedule: FSchedule,
     config: FTQSConfig = DEFAULT_FTQS_CONFIG,
+    *,
+    synthesis: str = "fast",
+    jobs: int = 1,
+    stats=None,
 ) -> QSTree:
-    """Build the fault-tolerant quasi-static tree Φ (paper Fig. 7)."""
+    """Build the fault-tolerant quasi-static tree Φ (paper Fig. 7).
+
+    Two interchangeable synthesis engines construct the tree:
+
+    * ``synthesis="reference"`` — the oracle below: one full FTSS run
+      per candidate, point-by-point interval partitioning;
+    * ``synthesis="fast"`` (default) — the memoized/vectorized engine
+      of :mod:`repro.quasistatic.synthesis`, byte-identical trees
+      (asserted by ``tests/test_synthesis_differential.py``) several
+      times faster; ``jobs > 1`` additionally shards each expansion
+      layer's candidates across worker processes (also identical for
+      any job count).  ``stats`` may be a
+      :class:`~repro.quasistatic.synthesis.SynthesisStats` to
+      accumulate construction counters across calls.
+    """
+    if synthesis == "fast":
+        from repro.quasistatic.synthesis import ftqs_fast
+
+        return ftqs_fast(app, root_schedule, config, jobs=jobs, stats=stats)
+    if synthesis != "reference":
+        raise ValueError(
+            f"unknown synthesis engine {synthesis!r}; expected one of "
+            f"{SYNTHESIS_ENGINES}"
+        )
+    return ftqs_reference(app, root_schedule, config)
+
+
+def ftqs_reference(
+    app: Application,
+    root_schedule: FSchedule,
+    config: FTQSConfig = DEFAULT_FTQS_CONFIG,
+) -> QSTree:
+    """The behavioral oracle of tree construction (paper Fig. 7,
+    followed literally)."""
     tree = QSTree(root_schedule)
     if config.max_schedules == 1 or len(root_schedule) <= 1:
         return tree
@@ -354,11 +394,16 @@ def ftqs(
 
 @dataclass
 class SchedulingStrategyResult:
-    """Output of the overall scheduling strategy (paper Fig. 6)."""
+    """Output of the overall scheduling strategy (paper Fig. 6).
+
+    ``stats`` carries the fast engine's construction counters when the
+    caller supplied a collector (``None`` otherwise).
+    """
 
     app: Application
     root_schedule: FSchedule
     tree: QSTree
+    stats: Optional[object] = None
 
     @property
     def schedulable(self) -> bool:
@@ -376,12 +421,17 @@ def schedule_application(
     app: Application,
     max_schedules: int = 16,
     config: Optional[FTQSConfig] = None,
+    *,
+    synthesis: str = "fast",
+    jobs: int = 1,
+    stats=None,
 ) -> SchedulingStrategyResult:
     """The paper's ``SchedulingStrategy`` (Fig. 6).
 
     Generates the root f-schedule with FTSS; raises
     :class:`~repro.errors.UnschedulableError` when no fault-tolerant
-    schedule exists; otherwise grows the quasi-static tree with FTQS.
+    schedule exists; otherwise grows the quasi-static tree with FTQS
+    (``synthesis``/``jobs``/``stats`` route to :func:`ftqs`).
     """
     if config is None:
         config = FTQSConfig(max_schedules=max_schedules)
@@ -391,5 +441,7 @@ def schedule_application(
             "no f-schedule meets all hard deadlines under the fault "
             "hypothesis"
         )
-    tree = ftqs(app, root, config)
-    return SchedulingStrategyResult(app=app, root_schedule=root, tree=tree)
+    tree = ftqs(app, root, config, synthesis=synthesis, jobs=jobs, stats=stats)
+    return SchedulingStrategyResult(
+        app=app, root_schedule=root, tree=tree, stats=stats
+    )

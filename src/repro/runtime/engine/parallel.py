@@ -135,6 +135,58 @@ def _release(pool, segments) -> None:
             pass
 
 
+class TaskPool:
+    """Small task-sharding facade over a persistent worker pool.
+
+    Generalizes the scenario-sharding pool of :class:`ParallelEvaluator`
+    to arbitrary picklable tasks: workers are spawned once (running
+    ``initializer(*initargs)`` to install whatever per-process context
+    the task function needs) and reused for every :meth:`map` call.
+    ``map`` preserves task order, so a caller that merges results
+    positionally is deterministic for any worker count.  Users:
+
+    * :class:`ParallelEvaluator` — scenario-slice tasks over shared
+      scenario batches;
+    * :class:`repro.quasistatic.synthesis.SynthesisEngine` — FTQS
+      candidate-evaluation tasks of one expansion layer.
+    """
+
+    def __init__(self, processes: int, initializer=None, initargs=()):
+        if processes < 1:
+            raise RuntimeModelError(
+                f"worker count must be positive, got {processes}"
+            )
+        self.processes = processes
+        self._pool = multiprocessing.get_context().Pool(
+            processes=processes,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def map(self, fn, tasks):
+        """Run ``fn`` over ``tasks``; results in task order."""
+        return self._pool.map(fn, tasks)
+
+    # -- lifecycle (terminate/join mirror multiprocessing.Pool so the
+    # facade drops into code that managed a raw Pool before) ----------
+    def terminate(self) -> None:
+        self._pool.terminate()
+
+    def join(self) -> None:
+        self._pool.join()
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent)."""
+        self.terminate()
+        self.join()
+
+    def __enter__(self) -> "TaskPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class ParallelEvaluator:
     """Deterministic sharded version of the Monte-Carlo evaluation.
 
@@ -208,8 +260,8 @@ class ParallelEvaluator:
 
     def _spawn_pool(self, processes: int, names, specs):
         """Create the worker pool (separate for spawn-count tests)."""
-        return multiprocessing.get_context().Pool(
-            processes=processes,
+        return TaskPool(
+            processes,
             initializer=_worker_init,
             initargs=(self.app, names, specs, self.engine),
         )

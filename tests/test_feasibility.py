@@ -130,3 +130,60 @@ class TestOracleAgainstReference:
     def test_late_start_infeasible(self, fig8_app):
         oracle = FeasibilityOracle(fig8_app, 2, start_time=200)
         assert not oracle.check("P1")
+
+
+class TestExtendedChains:
+    """``extended()`` chains must agree with a fresh oracle built from
+    the extended prefix — the invariant the fast synthesis engine's
+    memoized tail scheduling leans on (it probes second-order effects
+    on ``extended()`` clones instead of rebuilding oracles)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_extended_chain_matches_fresh_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        app = generate_application(
+            WorkloadSpec(
+                n_processes=int(rng.integers(8, 18)),
+                k=int(rng.integers(1, 4)),
+            ),
+            rng=np.random.default_rng(seed + 99),
+        )
+        order = app.graph.topological_order()
+        budget = app.k
+        start_time = int(rng.integers(0, 40))
+        chained = FeasibilityOracle(app, budget, start_time=start_time)
+        prefix = []
+        for name in order[: int(rng.integers(1, len(order)))]:
+            rex = (
+                budget
+                if app.process(name).is_hard
+                else int(rng.integers(0, budget + 1))
+            )
+            # Grow one oracle via extended() ...
+            chained = chained.extended(name, rex)
+            prefix.append((name, rex))
+            # ... and rebuild a fresh one from the same prefix.
+            fresh = FeasibilityOracle(app, budget, start_time=start_time)
+            for done_name, done_rex in prefix:
+                fresh.on_schedule(done_name, done_rex)
+            scheduled = {n for n, _ in prefix}
+            probes = [n for n in order if n not in scheduled]
+            for candidate in probes:
+                for rex_probe in (None, 0, budget):
+                    assert chained.check(candidate, rex_probe) == fresh.check(
+                        candidate, rex_probe
+                    ), (
+                        f"seed={seed} prefix={prefix} candidate={candidate} "
+                        f"rex={rex_probe}"
+                    )
+            assert chained.schedulable_subset(probes) == (
+                fresh.schedulable_subset(probes)
+            )
+
+    def test_extended_does_not_mutate_the_base(self, fig8_app):
+        oracle = FeasibilityOracle(fig8_app, 2)
+        before = [oracle.check(n.name) for n in fig8_app.processes]
+        clone = oracle.extended("P1", 2)
+        clone.extended("P2", 1)
+        after = [oracle.check(n.name) for n in fig8_app.processes]
+        assert before == after
