@@ -32,10 +32,13 @@ def main() -> None:
         f"FTQS tree ({tree.different_schedules()} schedules)"
     )
 
-    evaluator = MonteCarloEvaluator(app, n_scenarios=500, seed=7)
-    results = evaluator.compare(
-        {"FTQS": tree, "FTSS": root, "FTSF": baseline}
-    )
+    # Scope the evaluator so any worker pools / shared-memory scenario
+    # segments are released when the comparison is done, matching the
+    # experiment drivers' lifecycle discipline.
+    with MonteCarloEvaluator(app, n_scenarios=500, seed=7) as evaluator:
+        results = evaluator.compare(
+            {"FTQS": tree, "FTSS": root, "FTSF": baseline}
+        )
 
     print(f"\n{'approach':<8} {'faults':>6} {'mean U':>9} "
           f"{'switches':>9} {'misses':>7}")

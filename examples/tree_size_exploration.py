@@ -36,31 +36,38 @@ def main() -> None:
     )
     print(f"application: {app}")
     root = ftss(app)
-    evaluator = MonteCarloEvaluator(
+    # One evaluator serves the whole M sweep; the with-scope releases
+    # its worker pools / scenario segments deterministically at the
+    # end, matching the experiment drivers' lifecycle discipline.
+    with MonteCarloEvaluator(
         app, n_scenarios=400, fault_counts=[0, 1, 2, 3], seed=5
-    )
-    base = evaluator.evaluate(root)
+    ) as evaluator:
+        base = evaluator.evaluate(root)
 
-    print(
-        f"\n{'M':>4} {'nodes':>6} {'U(0f)%':>8} {'U(3f)%':>8} "
-        f"{'build s':>8} {'tree kB':>8}"
-    )
-    for m in (1, 2, 4, 8, 13, 23, 34):
-        start = time.perf_counter()
-        plan = root if m == 1 else ftqs(app, root, FTQSConfig(max_schedules=m))
-        elapsed = time.perf_counter() - start
-        outcome = evaluator.evaluate(plan)
-        if m == 1:
-            nodes, size_kb = 1, 0.0
-        else:
-            nodes = len(plan)
-            size_kb = len(json.dumps(tree_to_dict(plan))) / 1024.0
         print(
-            f"{m:>4} {nodes:>6} "
-            f"{100 * outcome[0].mean_utility / base[0].mean_utility:>8.1f} "
-            f"{100 * outcome[3].mean_utility / base[3].mean_utility:>8.1f} "
-            f"{elapsed:>8.2f} {size_kb:>8.1f}"
+            f"\n{'M':>4} {'nodes':>6} {'U(0f)%':>8} {'U(3f)%':>8} "
+            f"{'build s':>8} {'tree kB':>8}"
         )
+        for m in (1, 2, 4, 8, 13, 23, 34):
+            start = time.perf_counter()
+            plan = (
+                root
+                if m == 1
+                else ftqs(app, root, FTQSConfig(max_schedules=m))
+            )
+            elapsed = time.perf_counter() - start
+            outcome = evaluator.evaluate(plan)
+            if m == 1:
+                nodes, size_kb = 1, 0.0
+            else:
+                nodes = len(plan)
+                size_kb = len(json.dumps(tree_to_dict(plan))) / 1024.0
+            print(
+                f"{m:>4} {nodes:>6} "
+                f"{100 * outcome[0].mean_utility / base[0].mean_utility:>8.1f} "
+                f"{100 * outcome[3].mean_utility / base[3].mean_utility:>8.1f} "
+                f"{elapsed:>8.2f} {size_kb:>8.1f}"
+            )
 
     print(
         "\nReading the frontier: the first handful of schedules buys "

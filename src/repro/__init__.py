@@ -49,6 +49,7 @@ from repro.model import (
     hard_process,
     soft_process,
 )
+from repro.pipeline import ResourceManager, TreeStore
 from repro.quasistatic import (
     QSTree,
     SchedulingStrategyResult,
@@ -91,6 +92,7 @@ __all__ = [
     "ProcessKind",
     "QSTree",
     "ReproError",
+    "ResourceManager",
     "ScenarioSampler",
     "ScheduledEntry",
     "SchedulingError",
@@ -98,6 +100,7 @@ __all__ = [
     "StepUtility",
     "TabulatedUtility",
     "TimingError",
+    "TreeStore",
     "UnschedulableError",
     "UtilityError",
     "UtilityFunction",

@@ -16,7 +16,8 @@ from typing import Dict, List, Optional
 from repro.errors import UnschedulableError
 from repro.evaluation.montecarlo import MonteCarloEvaluator, normalized_to
 from repro.model.application import Application
-from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.pipeline.runner import synthesize_tree
+from repro.quasistatic.ftqs import FTQSConfig
 from repro.quasistatic.tree import QSTree
 from repro.scheduling.fschedule import FSchedule
 from repro.scheduling.ftsf import ftsf
@@ -123,27 +124,41 @@ def synthesis_report(
     synthesis: str = "fast",
     synthesis_jobs: int = 1,
     stats=None,
+    resources=None,
+    store=None,
 ) -> SynthesisReport:
-    """Run the full pipeline on ``app`` and assemble the report."""
+    """Run the full pipeline on ``app`` and assemble the report.
+
+    ``resources``/``store`` route synthesis and evaluation through the
+    shared worker pools and the content-addressed tree cache of
+    :mod:`repro.pipeline` when provided.
+    """
     root = ftss(app)
     if root is None:
         raise UnschedulableError(
             "the application admits no fault-tolerant schedule"
         )
-    tree = ftqs(
+    tree = synthesize_tree(
         app,
         root,
         FTQSConfig(max_schedules=max_schedules),
         synthesis=synthesis,
-        jobs=synthesis_jobs,
+        synthesis_jobs=synthesis_jobs,
         stats=stats,
+        resources=resources,
+        store=store,
     )
     baseline = ftsf(app)
     plans = {"FTQS": tree, "FTSS": root}
     if baseline is not None:
         plans["FTSF"] = baseline
     with MonteCarloEvaluator(
-        app, n_scenarios=n_scenarios, seed=seed, engine=engine, jobs=jobs
+        app,
+        n_scenarios=n_scenarios,
+        seed=seed,
+        engine=engine,
+        jobs=jobs,
+        resources=resources,
     ) as evaluator:
         results = evaluator.compare(plans)
     utilities = normalized_to(results, "FTQS", reference_faults=0)

@@ -2,8 +2,10 @@
 
 Sub-commands:
 
-* ``experiment {fig9a,fig9b,table1,cc,ablations}`` — regenerate a
-  paper table/figure (``--paper-scale`` restores the full §6 sizes);
+* ``experiment {fig9a,fig9b,table1,cc,ablations,sweeps}`` — regenerate
+  a paper table/figure (``--paper-scale`` restores the full §6 sizes;
+  ``--cache-dir DIR`` caches synthesized trees content-addressed, so
+  repeated runs skip every FTQS build);
 * ``demo`` — run the quickstart pipeline on the paper's Fig. 1
   example and print a Gantt chart;
 * ``schedule APP.json`` — synthesize a quasi-static tree for an
@@ -19,6 +21,7 @@ Sub-commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from typing import List, Optional
@@ -38,11 +41,60 @@ from repro.evaluation.experiments import (
 )
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for worker counts: an integer >= 1.
+
+    Rejects ``--jobs 0`` / ``--synthesis-jobs -2`` at parse time with
+    a one-line usage error instead of a deep traceback out of the
+    pool machinery.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be at least 1, got {value}"
+        )
+    return value
+
+
+def _open_store(args: argparse.Namespace):
+    """The tree store for ``--cache-dir`` (None when unset).
+
+    The directory itself is created on demand, but a nonexistent
+    *parent* is almost always a typo — reject it with a clear error
+    instead of silently caching into a surprise location or dying in
+    ``os.makedirs``.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        return None
+    parent = os.path.dirname(os.path.abspath(cache_dir))
+    if not os.path.isdir(parent):
+        raise SystemExit(
+            f"error: --cache-dir parent directory does not exist: {parent}"
+        )
+    if os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
+        raise SystemExit(
+            f"error: --cache-dir exists but is not a directory: {cache_dir}"
+        )
+    from repro.pipeline.store import TreeStore
+
+    return TreeStore(cache_dir)
+
+
 def _synthesis_routing(args: argparse.Namespace):
     """(kwargs for run_*, stats collector or None) from the CLI flags."""
     from repro.quasistatic.synthesis import SynthesisStats
 
-    stats = SynthesisStats() if args.synthesis == "fast" else None
+    stats = (
+        SynthesisStats()
+        if args.synthesis == "fast" or getattr(args, "cache_dir", None)
+        else None
+    )
     return (
         {
             "synthesis": args.synthesis,
@@ -55,68 +107,81 @@ def _synthesis_routing(args: argparse.Namespace):
 
 def _print_synthesis_line(stats) -> None:
     """Construction summary mirroring the simulate fast-path line."""
-    if stats is not None and stats.trees_built:
+    if stats is not None and (
+        stats.trees_built or stats.store_hits or stats.store_misses
+    ):
         print(stats.summary_line())
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.pipeline.resources import ResourceManager
+
     name = args.name
     routing = {"engine": args.engine, "jobs": args.jobs}
     synthesis, stats = _synthesis_routing(args)
-    if name in ("fig9a", "fig9b"):
-        config = (
-            Fig9Config.paper_scale() if args.paper_scale else Fig9Config()
-        )
-        if args.apps:
-            config = replace(config, apps_per_size=args.apps)
-        rows = run_fig9(replace(config, **routing), **synthesis)
-        print(format_fig9(rows, panel="a" if name == "fig9a" else "b"))
-        _print_synthesis_line(stats)
-        return 0
-    if name == "table1":
-        config = (
-            Table1Config.paper_scale() if args.paper_scale else Table1Config()
-        )
-        print(format_table1(run_table1(replace(config, **routing), **synthesis)))
-        _print_synthesis_line(stats)
-        return 0
-    if name == "cc":
-        config = CCConfig.paper_scale() if args.paper_scale else CCConfig()
-        print(run_cc(replace(config, **routing), **synthesis).format())
-        _print_synthesis_line(stats)
-        return 0
-    if name == "ablations":
-        print(
-            format_ablations(
-                run_ablations(AblationConfig(**routing), **synthesis)
+    synthesis["store"] = _open_store(args)
+    with ResourceManager() as resources:
+        synthesis["resources"] = resources
+        if name in ("fig9a", "fig9b"):
+            config = (
+                Fig9Config.paper_scale() if args.paper_scale else Fig9Config()
             )
-        )
-        _print_synthesis_line(stats)
-        return 0
-    if name == "sweeps":
-        from repro.evaluation.experiments import (
-            SweepConfig,
-            format_sweep,
-            run_fault_budget_sweep,
-            run_soft_ratio_sweep,
-        )
+            if args.apps:
+                config = replace(config, apps_per_size=args.apps)
+            rows = run_fig9(replace(config, **routing), **synthesis)
+            print(format_fig9(rows, panel="a" if name == "fig9a" else "b"))
+            _print_synthesis_line(stats)
+            return 0
+        if name == "table1":
+            config = (
+                Table1Config.paper_scale()
+                if args.paper_scale
+                else Table1Config()
+            )
+            print(
+                format_table1(
+                    run_table1(replace(config, **routing), **synthesis)
+                )
+            )
+            _print_synthesis_line(stats)
+            return 0
+        if name == "cc":
+            config = CCConfig.paper_scale() if args.paper_scale else CCConfig()
+            print(run_cc(replace(config, **routing), **synthesis).format())
+            _print_synthesis_line(stats)
+            return 0
+        if name == "ablations":
+            print(
+                format_ablations(
+                    run_ablations(AblationConfig(**routing), **synthesis)
+                )
+            )
+            _print_synthesis_line(stats)
+            return 0
+        if name == "sweeps":
+            from repro.evaluation.experiments import (
+                SweepConfig,
+                format_sweep,
+                run_fault_budget_sweep,
+                run_soft_ratio_sweep,
+            )
 
-        config = SweepConfig(**routing)
-        print(
-            format_sweep(
-                run_soft_ratio_sweep(config=config, **synthesis),
-                "soft ratio",
+            config = SweepConfig(**routing)
+            print(
+                format_sweep(
+                    run_soft_ratio_sweep(config=config, **synthesis),
+                    "soft ratio",
+                )
             )
-        )
-        print()
-        print(
-            format_sweep(
-                run_fault_budget_sweep(config=config, **synthesis),
-                "fault budget k",
+            print()
+            print(
+                format_sweep(
+                    run_fault_budget_sweep(config=config, **synthesis),
+                    "fault budget k",
+                )
             )
-        )
-        _print_synthesis_line(stats)
-        return 0
+            _print_synthesis_line(stats)
+            return 0
     print(f"unknown experiment {name!r}", file=sys.stderr)
     return 2
 
@@ -249,7 +314,7 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         help="worker processes for the Monte-Carlo evaluation "
         "(deterministic for any count)",
@@ -270,7 +335,7 @@ def _add_synthesis_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--synthesis-jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         help="worker processes for FTQS candidate evaluation "
         "(identical trees for any count)",
@@ -299,6 +364,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="full §6 sizes (50 apps/size, 20k scenarios) — slow",
     )
     exp.add_argument("--apps", type=int, default=0, help="apps per size")
+    exp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed tree store: identical (application, "
+        "root, FTQS config) synthesis inputs reload the cached tree "
+        "instead of rebuilding, so repeated runs report 100%% store "
+        "hits and zero FTQS builds (hit/miss counts appear on the "
+        "'synthesis:' summary line)",
+    )
     _add_engine_options(exp)
     _add_synthesis_options(exp)
     exp.set_defaults(func=_cmd_experiment)

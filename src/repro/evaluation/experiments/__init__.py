@@ -1,15 +1,30 @@
-"""Experiment drivers: one module per paper table/figure + ablations."""
+"""Experiment drivers: one module per paper table/figure + ablations.
+
+Every driver is a spec of
+:class:`repro.pipeline.runner.ExperimentRunner` — the shared
+generate → synthesize → evaluate → rows loop — plus a ``run_*``
+function wrapper that preserves the historical call signature.  All of
+them accept ``resources`` (shared worker pools) and ``store`` (the
+content-addressed tree cache); see :mod:`repro.pipeline`.
+"""
 
 from repro.evaluation.experiments.ablations import (
     AblationConfig,
     AblationRow,
+    AblationRunner,
     format_ablations,
     run_ablations,
 )
-from repro.evaluation.experiments.cc import CCConfig, CCReport, run_cc
+from repro.evaluation.experiments.cc import (
+    CCConfig,
+    CCReport,
+    CCRunner,
+    run_cc,
+)
 from repro.evaluation.experiments.fig9 import (
     Fig9Config,
     Fig9Row,
+    Fig9Runner,
     fig9a_rows,
     fig9b_rows,
     format_fig9,
@@ -18,6 +33,7 @@ from repro.evaluation.experiments.fig9 import (
 from repro.evaluation.experiments.sweeps import (
     SweepConfig,
     SweepRow,
+    SweepRunner,
     format_sweep,
     run_fault_budget_sweep,
     run_soft_ratio_sweep,
@@ -25,6 +41,7 @@ from repro.evaluation.experiments.sweeps import (
 from repro.evaluation.experiments.table1 import (
     Table1Config,
     Table1Row,
+    Table1Runner,
     format_table1,
     run_table1,
 )
@@ -32,14 +49,19 @@ from repro.evaluation.experiments.table1 import (
 __all__ = [
     "AblationConfig",
     "AblationRow",
+    "AblationRunner",
     "CCConfig",
     "CCReport",
+    "CCRunner",
     "Fig9Config",
     "Fig9Row",
+    "Fig9Runner",
     "SweepConfig",
     "SweepRow",
+    "SweepRunner",
     "Table1Config",
     "Table1Row",
+    "Table1Runner",
     "format_sweep",
     "run_fault_budget_sweep",
     "run_soft_ratio_sweep",

@@ -26,11 +26,11 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.evaluation.metrics import NormalizedTable, format_table
-from repro.evaluation.montecarlo import MonteCarloEvaluator
-from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.pipeline.runner import ExperimentRunner
+from repro.quasistatic.ftqs import FTQSConfig
 from repro.runtime.replanner import run_replanning
 from repro.scheduling.ftss import FTSSConfig, ftss
-from repro.workloads.suite import WorkloadSpec, generate_application
+from repro.workloads.suite import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -71,43 +71,136 @@ class AblationRow:
     schedulable_fraction: float = 1.0  # apps this config could schedule
 
 
-def _build_plans(
-    app, root, config: AblationConfig, synthesis, synthesis_jobs, stats
-):
-    """All ablated plans for one application (None entries skipped)."""
-    plans = {}
-    for name, ftss_config in ABLATED_FTSS_CONFIGS.items():
-        plan = ftss(app, config=ftss_config)
-        if plan is not None:
-            plans[name] = plan
-    routing = {
-        "synthesis": synthesis,
-        "jobs": synthesis_jobs,
-        "stats": stats,
-    }
-    plans["no-intervals"] = ftqs(
-        app,
-        root,
-        FTQSConfig(
-            max_schedules=config.max_schedules,
-            use_interval_partitioning=False,
-        ),
-        **routing,
-    )
-    plans["no-fault-children"] = ftqs(
-        app,
-        root,
-        FTQSConfig(
-            max_schedules=config.max_schedules,
-            fault_children=False,
-        ),
-        **routing,
-    )
-    plans["ftqs-default"] = ftqs(
-        app, root, FTQSConfig(max_schedules=config.max_schedules), **routing
-    )
-    plans["ftss-default"] = root
-    return plans
+class AblationRunner(ExperimentRunner):
+    """The ablation battery as a pipeline spec: one workload point,
+    many plans per application (ablated FTSS variants + FTQS ablation
+    configs), normalized to the default FTSS.
+
+    Every FTQS variant goes through :meth:`synthesize`, so with a tree
+    store attached each (application, ablation config) pair caches
+    independently — the config is part of the content address.
+    """
+
+    def __init__(self, config: AblationConfig = AblationConfig(), **kwargs):
+        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        self.config = config
+
+    def _build_plans(self, app, root):
+        """All ablated plans for one application (None entries
+        skipped)."""
+        config = self.config
+        plans = {}
+        for name, ftss_config in ABLATED_FTSS_CONFIGS.items():
+            plan = ftss(app, config=ftss_config)
+            if plan is not None:
+                plans[name] = plan
+        plans["no-intervals"] = self.synthesize(
+            app,
+            root,
+            FTQSConfig(
+                max_schedules=config.max_schedules,
+                use_interval_partitioning=False,
+            ),
+        )
+        plans["no-fault-children"] = self.synthesize(
+            app,
+            root,
+            FTQSConfig(
+                max_schedules=config.max_schedules,
+                fault_children=False,
+            ),
+        )
+        plans["ftqs-default"] = self.synthesize(
+            app, root, FTQSConfig(max_schedules=config.max_schedules)
+        )
+        plans["ftss-default"] = root
+        return plans
+
+    def _run(self) -> List[AblationRow]:
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        spec = WorkloadSpec(
+            n_processes=config.n_processes, k=config.k, mu=config.mu
+        )
+        table = NormalizedTable()
+        overhead: Dict[str, List[float]] = {}
+        scheduled_counts: Dict[str, int] = {}
+
+        produced = 0
+        for app, root in (
+            self.candidates(spec, rng, max_attempts=4 * config.n_apps)
+            if config.n_apps > 0
+            else ()
+        ):
+            plans = self._build_plans(app, root)
+            for name in ABLATED_FTSS_CONFIGS:
+                scheduled_counts.setdefault(name, 0)
+                if name in plans:
+                    scheduled_counts[name] += 1
+            with self.evaluator(
+                app,
+                n_scenarios=config.n_scenarios,
+                fault_counts=list(range(config.k + 1)),
+                seed=config.seed + produced,
+            ) as evaluator:
+                results = evaluator.compare(plans)
+                base = results["ftss-default"]
+                for name, outcome in results.items():
+                    for faults in range(config.k + 1):
+                        denom = base[faults].mean_utility
+                        if denom <= 0:
+                            continue
+                        table.add(
+                            name,
+                            faults,
+                            100.0 * outcome[faults].mean_utility / denom,
+                        )
+                if config.include_replanner:
+                    utils = []
+                    seconds = []
+                    for scenario in evaluator.scenarios[0][
+                        : config.replanner_scenarios
+                    ]:
+                        outcome = run_replanning(app, scenario)
+                        utils.append(outcome.result.utility)
+                        seconds.append(outcome.scheduling_seconds)
+                    denom = base[0].mean_utility
+                    if denom > 0 and utils:
+                        table.add(
+                            "online-replan",
+                            0,
+                            100.0 * float(np.mean(utils)) / denom,
+                        )
+                        overhead.setdefault("online-replan", []).append(
+                            1000.0 * float(np.mean(seconds))
+                        )
+            produced += 1
+            if produced >= config.n_apps:
+                break
+
+        rows: List[AblationRow] = []
+        row_names = set(table.approaches()) | set(scheduled_counts)
+        for name in sorted(row_names):
+            per_fault = {
+                f: table.cell(name, f).mean
+                for f in table.fault_counts()
+                if table.cell(name, f).count > 0
+            }
+            mean_overhead = None
+            if name in overhead:
+                mean_overhead = float(np.mean(overhead[name]))
+            fraction = 1.0
+            if name in scheduled_counts and produced > 0:
+                fraction = scheduled_counts[name] / produced
+            rows.append(
+                AblationRow(
+                    name=name,
+                    utility_percent=per_fault,
+                    overhead_ms=mean_overhead,
+                    schedulable_fraction=fraction,
+                )
+            )
+        return rows
 
 
 def run_ablations(
@@ -116,100 +209,25 @@ def run_ablations(
     synthesis: str = "fast",
     synthesis_jobs: int = 1,
     stats=None,
+    resources=None,
+    store=None,
 ) -> List[AblationRow]:
     """Run all ablations; utilities are normalized to ``ftss-default``.
 
     The FTSS ablations answer "how much does this FTSS design choice
     contribute to the static schedule's utility"; the FTQS rows answer
-    the same for the tree construction.
+    the same for the tree construction.  A thin wrapper over
+    :class:`AblationRunner`; ``resources``/``store`` are the
+    pipeline's shared worker pools and tree cache.
     """
-    rng = np.random.default_rng(config.seed)
-    spec = WorkloadSpec(
-        n_processes=config.n_processes, k=config.k, mu=config.mu
-    )
-    table = NormalizedTable()
-    overhead: Dict[str, List[float]] = {}
-    scheduled_counts: Dict[str, int] = {}
-
-    produced = 0
-    attempts = 0
-    while produced < config.n_apps and attempts < 4 * config.n_apps:
-        attempts += 1
-        app = generate_application(spec, rng=rng)
-        root = ftss(app)
-        if root is None:
-            continue
-        plans = _build_plans(
-            app, root, config, synthesis, synthesis_jobs, stats
-        )
-        for name in ABLATED_FTSS_CONFIGS:
-            scheduled_counts.setdefault(name, 0)
-            if name in plans:
-                scheduled_counts[name] += 1
-        with MonteCarloEvaluator(
-            app,
-            n_scenarios=config.n_scenarios,
-            fault_counts=list(range(config.k + 1)),
-            seed=config.seed + produced,
-            engine=config.engine,
-            jobs=config.jobs,
-        ) as evaluator:
-            results = evaluator.compare(plans)
-            base = results["ftss-default"]
-            for name, outcome in results.items():
-                for faults in range(config.k + 1):
-                    denom = base[faults].mean_utility
-                    if denom <= 0:
-                        continue
-                    table.add(
-                        name,
-                        faults,
-                        100.0 * outcome[faults].mean_utility / denom,
-                    )
-            if config.include_replanner:
-                utils = []
-                seconds = []
-                for scenario in evaluator.scenarios[0][
-                    : config.replanner_scenarios
-                ]:
-                    outcome = run_replanning(app, scenario)
-                    utils.append(outcome.result.utility)
-                    seconds.append(outcome.scheduling_seconds)
-                denom = base[0].mean_utility
-                if denom > 0 and utils:
-                    table.add(
-                        "online-replan",
-                        0,
-                        100.0 * float(np.mean(utils)) / denom,
-                    )
-                    overhead.setdefault("online-replan", []).append(
-                        1000.0 * float(np.mean(seconds))
-                    )
-        produced += 1
-
-    rows: List[AblationRow] = []
-    row_names = set(table.approaches()) | set(scheduled_counts)
-    for name in sorted(row_names):
-        per_fault = {
-            f: table.cell(name, f).mean
-            for f in table.fault_counts()
-            if table.cell(name, f).count > 0
-        }
-        mean_overhead = None
-        if name in overhead:
-            mean_overhead = float(np.mean(overhead[name]))
-        fraction = 1.0
-        if name in scheduled_counts and produced > 0:
-            fraction = scheduled_counts[name] / produced
-        rows.append(
-            AblationRow(
-                name=name,
-                utility_percent=per_fault,
-                overhead_ms=mean_overhead,
-                schedulable_fraction=fraction,
-            )
-        )
-    return rows
+    return AblationRunner(
+        config,
+        synthesis=synthesis,
+        synthesis_jobs=synthesis_jobs,
+        stats=stats,
+        resources=resources,
+        store=store,
+    ).run()
 
 
 def format_ablations(rows: List[AblationRow]) -> str:

@@ -16,8 +16,9 @@ from typing import Dict
 
 from repro.errors import UnschedulableError
 from repro.evaluation.metrics import format_table
-from repro.evaluation.montecarlo import MonteCarloEvaluator, normalized_to
-from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.evaluation.montecarlo import normalized_to
+from repro.pipeline.runner import ExperimentRunner
+from repro.quasistatic.ftqs import FTQSConfig
 from repro.scheduling.ftsf import ftsf
 from repro.scheduling.ftss import ftss
 from repro.workloads.cruise import cruise_controller
@@ -76,52 +77,73 @@ class CCReport:
         )
 
 
+class CCRunner(ExperimentRunner):
+    """The cruise-controller case study as a pipeline spec: a fixed
+    application instead of a workload grid, three approaches, one
+    paired evaluation."""
+
+    def __init__(self, config: CCConfig = CCConfig(), **kwargs):
+        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        self.config = config
+
+    def _run(self) -> CCReport:
+        config = self.config
+        app = cruise_controller()
+        root = ftss(app)
+        if root is None:
+            raise UnschedulableError("cruise controller is not schedulable")
+        baseline = ftsf(app)
+        if baseline is None:
+            raise UnschedulableError("FTSF failed on the cruise controller")
+        tree = self.synthesize(
+            app, root, FTQSConfig(max_schedules=config.max_schedules)
+        )
+
+        with self.evaluator(
+            app,
+            n_scenarios=config.n_scenarios,
+            fault_counts=[0, 1, 2],
+            seed=config.seed,
+        ) as evaluator:
+            results = evaluator.compare(
+                {"FTQS": tree, "FTSS": root, "FTSF": baseline}
+            )
+        percents = normalized_to(results, "FTQS", reference_faults=0)
+
+        ftqs0 = results["FTQS"][0].mean_utility
+        ftss0 = results["FTSS"][0].mean_utility
+        ftsf0 = results["FTSF"][0].mean_utility
+        return CCReport(
+            tree_nodes=len(tree),
+            distinct_schedules=tree.different_schedules(),
+            ftqs_vs_ftss_percent=100.0 * (ftqs0 - ftss0) / ftss0,
+            ftqs_vs_ftsf_percent=100.0 * (ftqs0 - ftsf0) / ftsf0,
+            degradation_1_fault_percent=100.0 - percents["FTQS"][1],
+            degradation_2_faults_percent=100.0 - percents["FTQS"][2],
+            mean_utility=percents,
+        )
+
+
 def run_cc(
     config: CCConfig = CCConfig(),
     *,
     synthesis: str = "fast",
     synthesis_jobs: int = 1,
     stats=None,
+    resources=None,
+    store=None,
 ) -> CCReport:
-    """Run the CC case study and return the measured report."""
-    app = cruise_controller()
-    root = ftss(app)
-    if root is None:
-        raise UnschedulableError("cruise controller is not schedulable")
-    baseline = ftsf(app)
-    if baseline is None:
-        raise UnschedulableError("FTSF failed on the cruise controller")
-    tree = ftqs(
-        app,
-        root,
-        FTQSConfig(max_schedules=config.max_schedules),
+    """Run the CC case study and return the measured report.
+
+    A thin wrapper over :class:`CCRunner`; ``resources``/``store`` are
+    the pipeline's shared worker pools and tree cache (see
+    :mod:`repro.pipeline`).
+    """
+    return CCRunner(
+        config,
         synthesis=synthesis,
-        jobs=synthesis_jobs,
+        synthesis_jobs=synthesis_jobs,
         stats=stats,
-    )
-
-    with MonteCarloEvaluator(
-        app,
-        n_scenarios=config.n_scenarios,
-        fault_counts=[0, 1, 2],
-        seed=config.seed,
-        engine=config.engine,
-        jobs=config.jobs,
-    ) as evaluator:
-        results = evaluator.compare(
-            {"FTQS": tree, "FTSS": root, "FTSF": baseline}
-        )
-    percents = normalized_to(results, "FTQS", reference_faults=0)
-
-    ftqs0 = results["FTQS"][0].mean_utility
-    ftss0 = results["FTSS"][0].mean_utility
-    ftsf0 = results["FTSF"][0].mean_utility
-    return CCReport(
-        tree_nodes=len(tree),
-        distinct_schedules=tree.different_schedules(),
-        ftqs_vs_ftss_percent=100.0 * (ftqs0 - ftss0) / ftss0,
-        ftqs_vs_ftsf_percent=100.0 * (ftqs0 - ftsf0) / ftsf0,
-        degradation_1_fault_percent=100.0 - percents["FTQS"][1],
-        degradation_2_faults_percent=100.0 - percents["FTQS"][2],
-        mean_utility=percents,
-    )
+        resources=resources,
+        store=store,
+    ).run()

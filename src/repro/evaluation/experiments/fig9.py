@@ -21,11 +21,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.evaluation.metrics import NormalizedTable, format_table
-from repro.evaluation.montecarlo import MonteCarloEvaluator, normalized_to
-from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.evaluation.montecarlo import normalized_to
+from repro.pipeline.runner import ExperimentRunner
+from repro.quasistatic.ftqs import FTQSConfig
 from repro.scheduling.ftsf import ftsf
-from repro.scheduling.ftss import ftss
-from repro.workloads.suite import WorkloadSpec, generate_application
+from repro.workloads.suite import WorkloadSpec
 
 import numpy as np
 
@@ -61,6 +61,104 @@ class Fig9Row:
     n_apps: int
 
 
+class Fig9Runner(ExperimentRunner):
+    """Fig. 9 as a pipeline spec: an application-size grid, three
+    approaches per application.
+
+    For each application: build FTSS (static), FTSF (baseline) and the
+    FTQS tree, replay identical scenario sets for each fault count
+    against all three, and normalize mean utilities to FTQS/no-faults.
+    One evaluator serves all three plans of an application, its
+    scenario segments released before the next application; with
+    ``jobs > 1`` the worker processes are the run-wide pool of the
+    :class:`~repro.pipeline.resources.ResourceManager`.
+    """
+
+    def __init__(
+        self,
+        config: Fig9Config = Fig9Config(),
+        faults_for_statics: Tuple[int, ...] = (0, 3),
+        **kwargs,
+    ):
+        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        self.config = config
+        self.faults_for_statics = faults_for_statics
+
+    def _run(self) -> List[Fig9Row]:
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        tables: Dict[int, NormalizedTable] = {
+            s: NormalizedTable() for s in config.sizes
+        }
+        counts: Dict[int, int] = {s: 0 for s in config.sizes}
+
+        for size in config.sizes:
+            spec = WorkloadSpec(
+                n_processes=size, k=config.k, mu=config.mu
+            )
+            produced = 0
+            for app, root in (
+                self.candidates(
+                    spec, rng, max_attempts=config.apps_per_size * 4
+                )
+                if config.apps_per_size > 0
+                else ()
+            ):
+                baseline = ftsf(app)
+                if baseline is None:
+                    continue
+                tree = self.synthesize(
+                    app, root, FTQSConfig(max_schedules=config.max_schedules)
+                )
+                with self.evaluator(
+                    app,
+                    n_scenarios=config.n_scenarios,
+                    fault_counts=list(range(config.k + 1)),
+                    seed=config.seed + produced,
+                ) as evaluator:
+                    results = evaluator.compare(
+                        {"FTQS": tree, "FTSS": root, "FTSF": baseline}
+                    )
+                percents = normalized_to(
+                    results, "FTQS", reference_faults=0
+                )
+                for approach, per_fault in percents.items():
+                    for faults, percent in per_fault.items():
+                        if (
+                            approach != "FTQS"
+                            and faults not in self.faults_for_statics
+                        ):
+                            continue
+                        tables[size].add(approach, faults, percent)
+                produced += 1
+                if produced >= config.apps_per_size:
+                    break
+            counts[size] = produced
+
+        return self._rows(tables, counts)
+
+    def _rows(self, tables, counts) -> List[Fig9Row]:
+        config = self.config
+        rows: List[Fig9Row] = []
+        for size in config.sizes:
+            table = tables[size]
+            for approach in table.approaches():
+                for faults in table.fault_counts():
+                    stats = table.cell(approach, faults)
+                    if stats.count == 0:
+                        continue
+                    rows.append(
+                        Fig9Row(
+                            size=size,
+                            approach=approach,
+                            faults=faults,
+                            utility_percent=stats.mean,
+                            n_apps=counts[size],
+                        )
+                    )
+        return rows
+
+
 def run_fig9(
     config: Fig9Config = Fig9Config(),
     faults_for_statics: Tuple[int, ...] = (0, 3),
@@ -68,80 +166,25 @@ def run_fig9(
     synthesis: str = "fast",
     synthesis_jobs: int = 1,
     stats=None,
+    resources=None,
+    store=None,
 ) -> List[Fig9Row]:
     """Run the Fig. 9 experiment; returns all (size, approach, faults)
     points for both panels.
 
-    For each application: build FTSS (static), FTSF (baseline) and the
-    FTQS tree, replay identical scenario sets for each fault count
-    against all three, and normalize mean utilities to FTQS/no-faults.
-    One evaluator serves all three plans of an application (with
-    ``jobs > 1``: one worker pool per application, released before the
-    next one starts).
+    A thin wrapper over :class:`Fig9Runner`; ``resources``/``store``
+    are the pipeline's shared worker pools and tree cache (see
+    :mod:`repro.pipeline`).
     """
-    rng = np.random.default_rng(config.seed)
-    tables: Dict[int, NormalizedTable] = {s: NormalizedTable() for s in config.sizes}
-    counts: Dict[int, int] = {s: 0 for s in config.sizes}
-
-    for size in config.sizes:
-        spec = WorkloadSpec(n_processes=size, k=config.k, mu=config.mu)
-        produced = 0
-        attempts = 0
-        while produced < config.apps_per_size and attempts < config.apps_per_size * 4:
-            attempts += 1
-            app = generate_application(spec, rng=rng)
-            root = ftss(app)
-            if root is None:
-                continue
-            baseline = ftsf(app)
-            if baseline is None:
-                continue
-            tree = ftqs(
-                app,
-                root,
-                FTQSConfig(max_schedules=config.max_schedules),
-                synthesis=synthesis,
-                jobs=synthesis_jobs,
-                stats=stats,
-            )
-            with MonteCarloEvaluator(
-                app,
-                n_scenarios=config.n_scenarios,
-                fault_counts=list(range(config.k + 1)),
-                seed=config.seed + produced,
-                engine=config.engine,
-                jobs=config.jobs,
-            ) as evaluator:
-                results = evaluator.compare(
-                    {"FTQS": tree, "FTSS": root, "FTSF": baseline}
-                )
-            percents = normalized_to(results, "FTQS", reference_faults=0)
-            for approach, per_fault in percents.items():
-                for faults, percent in per_fault.items():
-                    if approach != "FTQS" and faults not in faults_for_statics:
-                        continue
-                    tables[size].add(approach, faults, percent)
-            produced += 1
-        counts[size] = produced
-
-    rows: List[Fig9Row] = []
-    for size in config.sizes:
-        table = tables[size]
-        for approach in table.approaches():
-            for faults in table.fault_counts():
-                stats = table.cell(approach, faults)
-                if stats.count == 0:
-                    continue
-                rows.append(
-                    Fig9Row(
-                        size=size,
-                        approach=approach,
-                        faults=faults,
-                        utility_percent=stats.mean,
-                        n_apps=counts[size],
-                    )
-                )
-    return rows
+    return Fig9Runner(
+        config,
+        faults_for_statics,
+        synthesis=synthesis,
+        synthesis_jobs=synthesis_jobs,
+        stats=stats,
+        resources=resources,
+        store=store,
+    ).run()
 
 
 def fig9a_rows(rows: List[Fig9Row]) -> List[Fig9Row]:

@@ -24,10 +24,9 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.evaluation.metrics import format_table
-from repro.evaluation.montecarlo import MonteCarloEvaluator
-from repro.quasistatic.ftqs import FTQSConfig, ftqs
-from repro.scheduling.ftss import ftss
-from repro.workloads.suite import WorkloadSpec, generate_application
+from repro.pipeline.runner import ExperimentRunner
+from repro.quasistatic.ftqs import FTQSConfig
+from repro.workloads.suite import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -56,63 +55,102 @@ class SweepRow:
     n_apps: int
 
 
-def _evaluate_point(
-    spec: WorkloadSpec,
-    config: SweepConfig,
-    rng: np.random.Generator,
-    synthesis: str = "fast",
-    synthesis_jobs: int = 1,
-    stats=None,
-) -> SweepRow:
-    gains: List[float] = []
-    dropped: List[float] = []
-    build: List[float] = []
-    produced = 0
-    attempts = 0
-    while produced < config.n_apps and attempts < 4 * config.n_apps:
-        attempts += 1
-        app = generate_application(spec, rng=rng)
-        root = ftss(app)
-        if root is None:
-            continue
-        start = time.perf_counter()
-        tree = ftqs(
-            app,
-            root,
-            FTQSConfig(max_schedules=config.max_schedules),
-            synthesis=synthesis,
-            jobs=synthesis_jobs,
-            stats=stats,
-        )
-        build.append(time.perf_counter() - start)
-        fault_counts = [0] if app.k == 0 else [0, min(1, app.k)]
-        with MonteCarloEvaluator(
-            app,
-            n_scenarios=config.n_scenarios,
-            fault_counts=fault_counts,
-            seed=config.seed + produced,
-            engine=config.engine,
-            jobs=config.jobs,
-        ) as evaluator:
-            results = evaluator.compare({"tree": tree, "root": root})
-        base = results["root"][0].mean_utility
-        if base > 0:
-            gains.append(
-                100.0 * results["tree"][0].mean_utility / base
+class SweepRunner(ExperimentRunner):
+    """Both parameter sweeps as one pipeline spec.
+
+    The grid is a list of ``(parameter value, WorkloadSpec)`` points;
+    every point runs the same generate → synthesize → compare loop on
+    a shared RNG.  Repeated sweep points over identical synthesis
+    inputs reload from the tree store when one is attached.
+    """
+
+    def __init__(
+        self,
+        points: List[Tuple[float, WorkloadSpec]],
+        config: SweepConfig = SweepConfig(),
+        **kwargs,
+    ):
+        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        self.points = points
+        self.config = config
+
+    def _evaluate_point(
+        self, spec: WorkloadSpec, rng: np.random.Generator
+    ) -> SweepRow:
+        config = self.config
+        gains: List[float] = []
+        dropped: List[float] = []
+        build: List[float] = []
+        produced = 0
+        for app, root in (
+            self.candidates(spec, rng, max_attempts=4 * config.n_apps)
+            if config.n_apps > 0
+            else ()
+        ):
+            start = time.perf_counter()
+            tree = self.synthesize(
+                app, root, FTQSConfig(max_schedules=config.max_schedules)
             )
-        n_soft = len(app.soft)
-        if n_soft:
-            dropped.append(len(root.dropped) / n_soft)
-        else:
-            dropped.append(0.0)
-        produced += 1
-    return SweepRow(
-        parameter=0.0,  # caller fills in
-        ftqs_vs_ftss_percent=float(np.mean(gains)) if gains else float("nan"),
-        dropped_fraction=float(np.mean(dropped)) if dropped else 0.0,
-        build_seconds=float(np.mean(build)) if build else 0.0,
-        n_apps=produced,
-    )
+            build.append(time.perf_counter() - start)
+            fault_counts = [0] if app.k == 0 else [0, min(1, app.k)]
+            with self.evaluator(
+                app,
+                n_scenarios=config.n_scenarios,
+                fault_counts=fault_counts,
+                seed=config.seed + produced,
+            ) as evaluator:
+                results = evaluator.compare({"tree": tree, "root": root})
+            base = results["root"][0].mean_utility
+            if base > 0:
+                gains.append(
+                    100.0 * results["tree"][0].mean_utility / base
+                )
+            n_soft = len(app.soft)
+            if n_soft:
+                dropped.append(len(root.dropped) / n_soft)
+            else:
+                dropped.append(0.0)
+            produced += 1
+            if produced >= config.n_apps:
+                break
+        return SweepRow(
+            parameter=0.0,  # filled per point below
+            ftqs_vs_ftss_percent=(
+                float(np.mean(gains)) if gains else float("nan")
+            ),
+            dropped_fraction=float(np.mean(dropped)) if dropped else 0.0,
+            build_seconds=float(np.mean(build)) if build else 0.0,
+            n_apps=produced,
+        )
+
+    def _run(self) -> List[SweepRow]:
+        rng = np.random.default_rng(self.config.seed)
+        rows: List[SweepRow] = []
+        for parameter, spec in self.points:
+            row = self._evaluate_point(spec, rng)
+            row.parameter = parameter
+            rows.append(row)
+        return rows
+
+
+def _run_sweep(
+    points: List[Tuple[float, WorkloadSpec]],
+    config: SweepConfig,
+    synthesis: str,
+    synthesis_jobs: int,
+    stats,
+    resources,
+    store,
+) -> List[SweepRow]:
+    return SweepRunner(
+        points,
+        config,
+        synthesis=synthesis,
+        synthesis_jobs=synthesis_jobs,
+        stats=stats,
+        resources=resources,
+        store=store,
+    ).run()
 
 
 def run_soft_ratio_sweep(
@@ -123,24 +161,26 @@ def run_soft_ratio_sweep(
     synthesis: str = "fast",
     synthesis_jobs: int = 1,
     stats=None,
+    resources=None,
+    store=None,
 ) -> List[SweepRow]:
     """Sweep the soft-process fraction at fixed k."""
-    rng = np.random.default_rng(config.seed)
-    rows: List[SweepRow] = []
-    for ratio in ratios:
-        spec = WorkloadSpec(
-            n_processes=config.n_processes,
-            soft_ratio=ratio,
-            k=k,
-            mu=config.mu,
-            period_pressure_range=config.period_pressure,
+    points = [
+        (
+            ratio,
+            WorkloadSpec(
+                n_processes=config.n_processes,
+                soft_ratio=ratio,
+                k=k,
+                mu=config.mu,
+                period_pressure_range=config.period_pressure,
+            ),
         )
-        row = _evaluate_point(
-            spec, config, rng, synthesis, synthesis_jobs, stats
-        )
-        row.parameter = ratio
-        rows.append(row)
-    return rows
+        for ratio in ratios
+    ]
+    return _run_sweep(
+        points, config, synthesis, synthesis_jobs, stats, resources, store
+    )
 
 
 def run_fault_budget_sweep(
@@ -151,24 +191,26 @@ def run_fault_budget_sweep(
     synthesis: str = "fast",
     synthesis_jobs: int = 1,
     stats=None,
+    resources=None,
+    store=None,
 ) -> List[SweepRow]:
     """Sweep the fault budget k at a fixed hard/soft mix."""
-    rng = np.random.default_rng(config.seed)
-    rows: List[SweepRow] = []
-    for k in budgets:
-        spec = WorkloadSpec(
-            n_processes=config.n_processes,
-            soft_ratio=soft_ratio,
-            k=k,
-            mu=config.mu,
-            period_pressure_range=config.period_pressure,
+    points = [
+        (
+            float(k),
+            WorkloadSpec(
+                n_processes=config.n_processes,
+                soft_ratio=soft_ratio,
+                k=k,
+                mu=config.mu,
+                period_pressure_range=config.period_pressure,
+            ),
         )
-        row = _evaluate_point(
-            spec, config, rng, synthesis, synthesis_jobs, stats
-        )
-        row.parameter = float(k)
-        rows.append(row)
-    return rows
+        for k in budgets
+    ]
+    return _run_sweep(
+        points, config, synthesis, synthesis_jobs, stats, resources, store
+    )
 
 
 def format_sweep(rows: List[SweepRow], parameter_name: str) -> str:

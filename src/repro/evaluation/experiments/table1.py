@@ -19,10 +19,9 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.evaluation.metrics import NormalizedTable, format_table
-from repro.evaluation.montecarlo import MonteCarloEvaluator
-from repro.quasistatic.ftqs import FTQSConfig, ftqs
-from repro.scheduling.ftss import ftss
-from repro.workloads.suite import WorkloadSpec, generate_application
+from repro.pipeline.runner import ExperimentRunner
+from repro.quasistatic.ftqs import FTQSConfig
+from repro.workloads.suite import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -54,102 +53,121 @@ class Table1Row:
     n_apps: int
 
 
+class Table1Runner(ExperimentRunner):
+    """Table 1 as a pipeline spec: one workload point, an M sweep.
+
+    The loop runs application-outer: each application's evaluator (and
+    with ``jobs > 1`` its shared-memory scenario segments) is reused
+    across the *whole* M sweep — baseline plus every tree size — and
+    released deterministically before the next application starts.
+    Worker processes themselves belong to the run's
+    :class:`~repro.pipeline.resources.ResourceManager` and are spawned
+    once for all applications.  Values are re-aggregated in the
+    original (M, application) order, so the reported rows are
+    unchanged.
+
+    The construction-time column measures :meth:`synthesize` — the
+    selected engine, or the tree-store load on a cache hit.
+    """
+
+    def __init__(self, config: Table1Config = Table1Config(), **kwargs):
+        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        self.config = config
+
+    def _run(self) -> List[Table1Row]:
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        spec = WorkloadSpec(
+            n_processes=config.n_processes,
+            soft_ratio=0.5,
+            k=config.k,
+            mu=config.mu,
+        )
+        percents: Dict[int, List[Tuple[int, float]]] = {
+            m: [] for m in config.tree_sizes
+        }
+        runtimes: Dict[int, float] = {m: 0.0 for m in config.tree_sizes}
+        produced = 0
+        for app, root in (
+            self.candidates(spec, rng) if config.n_apps > 0 else ()
+        ):
+            with self.evaluator(
+                app,
+                n_scenarios=config.n_scenarios,
+                fault_counts=list(range(config.k + 1)),
+                seed=config.seed + produced,
+            ) as evaluator:
+                baseline = evaluator.evaluate(root)
+                if baseline[0].mean_utility <= 0:
+                    continue
+                for m in config.tree_sizes:
+                    start = time.perf_counter()
+                    if m == 1:
+                        plan = root
+                    else:
+                        plan = self.synthesize(
+                            app, root, FTQSConfig(max_schedules=m)
+                        )
+                    runtimes[m] += time.perf_counter() - start
+                    outcome = evaluator.evaluate(plan)
+                    for faults in range(config.k + 1):
+                        base = baseline[faults].mean_utility
+                        if base <= 0:
+                            continue
+                        percents[m].append(
+                            (
+                                faults,
+                                100.0
+                                * outcome[faults].mean_utility
+                                / base,
+                            )
+                        )
+                produced += 1
+            if produced >= config.n_apps:
+                break
+
+        rows: List[Table1Row] = []
+        for m in config.tree_sizes:
+            table = NormalizedTable()
+            for faults, percent in percents[m]:
+                table.add("FTQS", faults, percent)
+            rows.append(
+                Table1Row(
+                    nodes=m,
+                    utility_percent={
+                        faults: table.cell("FTQS", faults).mean
+                        for faults in range(config.k + 1)
+                    },
+                    runtime_seconds=runtimes[m] / max(1, produced),
+                    n_apps=produced,
+                )
+            )
+        return rows
+
+
 def run_table1(
     config: Table1Config = Table1Config(),
     *,
     synthesis: str = "fast",
     synthesis_jobs: int = 1,
     stats=None,
+    resources=None,
+    store=None,
 ) -> List[Table1Row]:
     """Run the tree-size sweep; returns one row per M.
 
-    The loop runs application-outer: each application's evaluator (and
-    with ``jobs > 1`` its persistent worker pool + shared-memory
-    scenario segments) is reused across the *whole* M sweep — baseline
-    plus every tree size, one pool spawn instead of one per evaluate —
-    and released deterministically before the next application starts
-    (so at most one pool is alive at a time, and none survives the
-    driver).  Values are re-aggregated in the original (M, application)
-    order, so the reported rows are unchanged.
-
-    ``synthesis``/``synthesis_jobs``/``stats`` route to :func:`ftqs` —
-    the construction-time column measures the selected engine.
+    A thin wrapper over :class:`Table1Runner`; ``resources``/``store``
+    are the pipeline's shared worker pools and tree cache (see
+    :mod:`repro.pipeline`).
     """
-    rng = np.random.default_rng(config.seed)
-    spec = WorkloadSpec(
-        n_processes=config.n_processes,
-        soft_ratio=0.5,
-        k=config.k,
-        mu=config.mu,
-    )
-    percents: Dict[int, List[Tuple[int, float]]] = {
-        m: [] for m in config.tree_sizes
-    }
-    runtimes: Dict[int, float] = {m: 0.0 for m in config.tree_sizes}
-    produced = 0
-    while produced < config.n_apps:
-        app = generate_application(spec, rng=rng)
-        root = ftss(app)
-        if root is None:
-            continue
-        evaluator = MonteCarloEvaluator(
-            app,
-            n_scenarios=config.n_scenarios,
-            fault_counts=list(range(config.k + 1)),
-            seed=config.seed + produced,
-            engine=config.engine,
-            jobs=config.jobs,
-        )
-        try:
-            baseline = evaluator.evaluate(root)
-            if baseline[0].mean_utility <= 0:
-                continue
-            for m in config.tree_sizes:
-                start = time.perf_counter()
-                if m == 1:
-                    plan = root
-                else:
-                    plan = ftqs(
-                        app,
-                        root,
-                        FTQSConfig(max_schedules=m),
-                        synthesis=synthesis,
-                        jobs=synthesis_jobs,
-                        stats=stats,
-                    )
-                runtimes[m] += time.perf_counter() - start
-                outcome = evaluator.evaluate(plan)
-                for faults in range(config.k + 1):
-                    base = baseline[faults].mean_utility
-                    if base <= 0:
-                        continue
-                    percents[m].append(
-                        (
-                            faults,
-                            100.0 * outcome[faults].mean_utility / base,
-                        )
-                    )
-            produced += 1
-        finally:
-            evaluator.close()
-
-    rows: List[Table1Row] = []
-    for m in config.tree_sizes:
-        table = NormalizedTable()
-        for faults, percent in percents[m]:
-            table.add("FTQS", faults, percent)
-        rows.append(
-            Table1Row(
-                nodes=m,
-                utility_percent={
-                    faults: table.cell("FTQS", faults).mean
-                    for faults in range(config.k + 1)
-                },
-                runtime_seconds=runtimes[m] / max(1, produced),
-                n_apps=produced,
-            )
-        )
-    return rows
+    return Table1Runner(
+        config,
+        synthesis=synthesis,
+        synthesis_jobs=synthesis_jobs,
+        stats=stats,
+        resources=resources,
+        store=store,
+    ).run()
 
 
 def format_table1(rows: List[Table1Row]) -> str:

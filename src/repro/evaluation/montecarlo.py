@@ -143,6 +143,12 @@ class MonteCarloEvaluator:
     jobs:
         Worker processes; ``1`` runs in-process, more shard the
         scenario range deterministically.
+    resources:
+        An optional :class:`repro.pipeline.resources.ResourceManager`.
+        When set, sharded evaluation borrows the manager's shared
+        worker pool (one spawn for the whole experiment run) instead
+        of spawning a pool per evaluator; :meth:`close` then releases
+        only this evaluator's shared-memory segments.
     """
 
     def __init__(
@@ -153,6 +159,7 @@ class MonteCarloEvaluator:
         seed: int = 1,
         engine: str = "reference",
         jobs: int = 1,
+        resources=None,
     ):
         if n_scenarios < 1:
             raise RuntimeModelError("need at least one scenario")
@@ -163,6 +170,7 @@ class MonteCarloEvaluator:
         self.seed = seed
         self.engine = _check_engine(engine)
         self.jobs = int(jobs)
+        self.resources = resources
         self.fault_counts = (
             list(fault_counts)
             if fault_counts is not None
@@ -326,6 +334,9 @@ class MonteCarloEvaluator:
         key = (engine, jobs)
         evaluator = self._parallel.get(key)
         if evaluator is None:
+            pool = None
+            if self.resources is not None and jobs > 1:
+                pool = self.resources.evaluation_pool(jobs)
             evaluator = ParallelEvaluator(
                 self.app,
                 n_scenarios=self.n_scenarios,
@@ -334,6 +345,7 @@ class MonteCarloEvaluator:
                 engine=engine,
                 jobs=jobs,
                 source=self,
+                pool=pool,
             )
             self._parallel[key] = evaluator
         return evaluator

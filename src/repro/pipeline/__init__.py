@@ -1,0 +1,25 @@
+"""The experiment pipeline: one cached synthesis→simulation loop.
+
+Three pieces (see the module docstrings for the full story):
+
+* :class:`~repro.pipeline.runner.ExperimentRunner` — the shared
+  generate → synthesize → evaluate → rows loop all five experiment
+  drivers are specs of;
+* :class:`~repro.pipeline.store.TreeStore` — content-addressed cache
+  of synthesized quasi-static trees (``repro experiment --cache-dir``);
+* :class:`~repro.pipeline.resources.ResourceManager` — experiment-
+  scoped ownership of the synthesis and evaluation worker pools (one
+  spawn per run instead of one per application).
+"""
+
+from repro.pipeline.resources import ResourceManager
+from repro.pipeline.runner import ExperimentRunner, synthesize_tree
+from repro.pipeline.store import TreeStore, fingerprint
+
+__all__ = [
+    "ExperimentRunner",
+    "ResourceManager",
+    "TreeStore",
+    "fingerprint",
+    "synthesize_tree",
+]

@@ -1,0 +1,115 @@
+"""Experiment-scoped worker-pool ownership.
+
+Before the pipeline existed, every experiment driver paid worker-pool
+spawn costs per *application*: the fast synthesis engine forked a
+fresh candidate pool for each tree build, and each
+:class:`~repro.evaluation.montecarlo.MonteCarloEvaluator` forked its
+own scenario-sharding pool.  A paper-scale sweep (hundreds of
+applications) re-spawned workers hundreds of times for no reason —
+the workers' code never changes, only the application context they
+hold.
+
+:class:`ResourceManager` closes that gap (the ROADMAP's pool-sharing
+open item): it owns **one** generic synthesis
+:class:`~repro.runtime.engine.parallel.TaskPool` and **one** generic
+evaluation pool for the whole experiment run.  Generic pools are
+spawned without an initializer; tasks carry their own context (the
+application, config, and — for evaluation — the names of the published
+shared-memory scenario segments), and workers re-initialize in place
+when the context token changes.  Results are unchanged: the contextual
+worker paths funnel into the exact same evaluation code as the
+initializer-based ones.
+
+Pools are keyed by worker count, created lazily, and live until
+:meth:`ResourceManager.close` (or context-manager exit).  A manager
+with ``jobs == 1`` everywhere never spawns anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import RuntimeModelError
+
+
+class ResourceManager:
+    """Owns the worker pools of one experiment run.
+
+    Use as a context manager::
+
+        with ResourceManager() as resources:
+            for app in applications:
+                tree = ftqs(app, root, config, jobs=4,
+                            pool=resources.synthesis_pool(4))
+                with resources.evaluator(app, jobs=4) as evaluator:
+                    evaluator.evaluate(tree)
+
+    Exactly one synthesis pool and one evaluation pool (per worker
+    count) are spawned for the whole block, no matter how many
+    applications pass through.
+    """
+
+    def __init__(self) -> None:
+        self._synthesis_pools: Dict[int, "TaskPool"] = {}
+        self._evaluation_pools: Dict[int, "TaskPool"] = {}
+
+    # ------------------------------------------------------------------
+    # Pool acquisition
+    # ------------------------------------------------------------------
+    def _generic_pool(self, cache: Dict[int, "TaskPool"], jobs: int):
+        if jobs < 1:
+            raise RuntimeModelError(f"jobs must be positive, got {jobs}")
+        pool = cache.get(jobs)
+        if pool is None:
+            pool = self._spawn_pool(jobs)
+            cache[jobs] = pool
+        return pool
+
+    def _spawn_pool(self, jobs: int):
+        """Spawn one generic pool (separate for spawn-count tests)."""
+        from repro.runtime.engine.parallel import TaskPool
+
+        return TaskPool(jobs)
+
+    def synthesis_pool(self, jobs: int) -> Optional["TaskPool"]:
+        """The shared FTQS candidate-evaluation pool (``None`` for
+        ``jobs == 1`` — single-job synthesis never needs workers)."""
+        if jobs == 1:
+            return None
+        return self._generic_pool(self._synthesis_pools, jobs)
+
+    def evaluation_pool(self, jobs: int) -> "TaskPool":
+        """The shared Monte-Carlo scenario-sharding pool."""
+        return self._generic_pool(self._evaluation_pools, jobs)
+
+    # ------------------------------------------------------------------
+    # Evaluator construction
+    # ------------------------------------------------------------------
+    def evaluator(self, app, **kwargs) -> "MonteCarloEvaluator":
+        """A :class:`MonteCarloEvaluator` wired to the shared pools.
+
+        Accepts the evaluator's keyword arguments (``n_scenarios``,
+        ``fault_counts``, ``seed``, ``engine``, ``jobs``).  Closing the
+        returned evaluator releases its scenario segments but leaves
+        the shared pools running for the next application.
+        """
+        from repro.evaluation.montecarlo import MonteCarloEvaluator
+
+        return MonteCarloEvaluator(app, resources=self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Terminate every owned pool (idempotent; the manager may be
+        used again afterwards — pools respawn lazily)."""
+        for cache in (self._synthesis_pools, self._evaluation_pools):
+            for pool in cache.values():
+                pool.close()
+            cache.clear()
+
+    def __enter__(self) -> "ResourceManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

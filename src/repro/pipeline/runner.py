@@ -1,0 +1,203 @@
+"""The shared experiment loop: generate → synthesize → evaluate → rows.
+
+Every paper experiment (Table 1, Fig. 9, the cruise controller, the
+sweeps, the ablations) is the same pipeline instantiated with a
+different spec: draw applications from a workload grid, build the
+FTSS root and the FTQS tree(s), replay paired Monte-Carlo scenario
+sets, and reduce the outcomes to rows.  Before this module the five
+drivers each hand-rolled that loop with ad-hoc evaluator scoping and
+no reuse of synthesized trees; :class:`ExperimentRunner` factors the
+loop's *services* out so a driver is reduced to its spec:
+
+* a config dataclass (the workload grid + evaluation scale),
+* a ``_run`` body expressing the experiment's structure through the
+  base-class services below,
+* a row type + formatter.
+
+The services guarantee the resource behaviour the drivers used to
+implement by hand, and add what they could not:
+
+* :meth:`candidates` — the generate-workloads loop (shared RNG
+  discipline, FTSS admission, attempt caps);
+* :meth:`synthesize` — FTQS construction through the optional
+  content-addressed :class:`~repro.pipeline.store.TreeStore`
+  (identical inputs skip the build) and the shared synthesis pool of
+  the run's :class:`~repro.pipeline.resources.ResourceManager`;
+* :meth:`evaluator` — paired Monte-Carlo evaluators wired to the
+  manager's shared evaluation pool, scoped with ``with`` so scenario
+  segments are released per application while worker processes
+  persist for the whole run.
+
+Driver outputs are **byte-identical** to the pre-pipeline drivers
+(``tests/test_pipeline_differential.py`` pins every row against
+golden captures): the RNG draw order, evaluator seeds and float
+accumulation orders are preserved exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.pipeline.resources import ResourceManager
+from repro.pipeline.store import TreeStore
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.scheduling.ftss import ftss
+from repro.workloads.suite import WorkloadSpec, generate_application
+
+
+def synthesize_tree(
+    app,
+    root,
+    config: FTQSConfig,
+    *,
+    synthesis: str = "fast",
+    synthesis_jobs: int = 1,
+    stats=None,
+    resources: Optional[ResourceManager] = None,
+    store: Optional[TreeStore] = None,
+):
+    """Store- and pool-aware FTQS construction (the pipeline's core).
+
+    A store hit returns the cached tree without building (counted on
+    ``stats.store_hits``; ``trees_built`` stays untouched, which is
+    how a fully-cached run reports zero builds).  A miss builds
+    through the shared synthesis pool when ``resources`` is set and
+    ``synthesis_jobs > 1``, then persists the result.
+    """
+    if store is not None:
+        cached = store.get(app, root, config)
+        if cached is not None:
+            if stats is not None:
+                stats.store_hits += 1
+            return cached
+        if stats is not None:
+            stats.store_misses += 1
+    pool = None
+    if resources is not None and synthesis == "fast" and synthesis_jobs > 1:
+        pool = resources.synthesis_pool(synthesis_jobs)
+    tree = ftqs(
+        app,
+        root,
+        config,
+        synthesis=synthesis,
+        jobs=synthesis_jobs,
+        stats=stats,
+        pool=pool,
+    )
+    if store is not None:
+        store.put(app, root, config, tree)
+    return tree
+
+
+class ExperimentRunner:
+    """Base class of the five experiment drivers.
+
+    Parameters
+    ----------
+    engine, jobs:
+        Monte-Carlo engine routing (per driver config before; now
+        shared).
+    synthesis, synthesis_jobs, stats:
+        FTQS engine routing, as accepted by :func:`ftqs`.
+    resources:
+        The run's :class:`ResourceManager`.  ``None`` (the default)
+        creates an owned manager that is closed when :meth:`run`
+        returns; passing one in shares its pools across several runner
+        invocations (e.g. both sweeps of ``repro experiment sweeps``)
+        and leaves its lifecycle to the caller.
+    store:
+        Optional :class:`TreeStore`; identical synthesis inputs then
+        reload instead of rebuilding.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: str = "batched",
+        jobs: int = 1,
+        synthesis: str = "fast",
+        synthesis_jobs: int = 1,
+        stats=None,
+        resources: Optional[ResourceManager] = None,
+        store: Optional[TreeStore] = None,
+    ):
+        self.engine = engine
+        self.jobs = jobs
+        self.synthesis = synthesis
+        self.synthesis_jobs = synthesis_jobs
+        self.stats = stats
+        self.store = store
+        self._owns_resources = resources is None
+        self.resources = (
+            resources if resources is not None else ResourceManager()
+        )
+
+    # ------------------------------------------------------------------
+    # Shared services
+    # ------------------------------------------------------------------
+    def candidates(
+        self,
+        spec: WorkloadSpec,
+        rng: np.random.Generator,
+        max_attempts: Optional[int] = None,
+    ) -> Iterator[Tuple[object, object]]:
+        """Generate ``(app, FTSS root)`` pairs from the workload grid.
+
+        Draws applications from ``rng`` until the consumer stops
+        iterating (or ``max_attempts`` total draws, counting the ones
+        FTSS rejects — the cap the bounded drivers used).  Preserves
+        the drivers' RNG discipline exactly: one
+        :func:`generate_application` call per attempt, in order.
+        """
+        attempts = 0
+        while max_attempts is None or attempts < max_attempts:
+            attempts += 1
+            app = generate_application(spec, rng=rng)
+            root = ftss(app)
+            if root is None:
+                continue
+            yield app, root
+
+    def synthesize(self, app, root, config: FTQSConfig):
+        """Build (or reload) the FTQS tree for one application."""
+        return synthesize_tree(
+            app,
+            root,
+            config,
+            synthesis=self.synthesis,
+            synthesis_jobs=self.synthesis_jobs,
+            stats=self.stats,
+            resources=self.resources,
+            store=self.store,
+        )
+
+    def evaluator(self, app, **kwargs):
+        """A paired Monte-Carlo evaluator on the shared worker pools.
+
+        Scope it with ``with`` (or ``close()``): exit releases the
+        application's scenario segments while the run-wide worker
+        processes live on in the :class:`ResourceManager`.
+        """
+        kwargs.setdefault("engine", self.engine)
+        kwargs.setdefault("jobs", self.jobs)
+        return self.resources.evaluator(app, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Template method
+    # ------------------------------------------------------------------
+    def _run(self):
+        raise NotImplementedError
+
+    def run(self):
+        """Execute the experiment; rows as the driver defines them.
+
+        Owned resources (the default) are closed on the way out, so a
+        plain ``SomeRunner(...).run()`` leaks no worker pools.
+        """
+        try:
+            return self._run()
+        finally:
+            if self._owns_resources:
+                self.resources.close()

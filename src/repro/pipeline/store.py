@@ -1,0 +1,150 @@
+"""Content-addressed store of synthesized quasi-static trees.
+
+FTQS construction is a pure function of (application, root f-schedule,
+:class:`~repro.quasistatic.ftqs.FTQSConfig`) — both engines produce
+identical trees for any job count, which the differential suite
+asserts.  That makes trees perfect cache material: repeated experiment
+runs (and repeated sweep points over the same application) can skip
+the build entirely and reload the tree bit-identically from JSON
+(round-trip fidelity is covered by ``tests/test_json_io.py``).
+
+:class:`TreeStore` keys each tree by a SHA-256 **fingerprint** of the
+canonical JSON forms of the application, the root schedule and the
+config (:mod:`repro.io.json_io` provides the dict forms; canonical =
+sorted keys, compact separators), so any change to timing constants,
+utility shapes, the fault hypothesis, the root schedule or a config
+knob — including the embedded FTSS config — addresses a different
+entry.  Entries are written atomically (temp file + rename) so a
+killed run never leaves a half-written tree; unreadable or corrupted
+entries are treated as misses and rebuilt over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from repro.errors import SerializationError
+from repro.io.json_io import (
+    application_to_dict,
+    schedule_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.quasistatic.ftqs import FTQSConfig
+from repro.quasistatic.tree import QSTree
+from repro.scheduling.fschedule import FSchedule
+
+
+def _canonical(data: Dict[str, Any]) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(app, root_schedule: FSchedule, config: FTQSConfig) -> str:
+    """Stable content address of one synthesis problem.
+
+    Built from the serialized forms — the same representations the
+    store round-trips — so two applications that serialize identically
+    (same processes, edges, period, k, µ, utilities) share cache
+    entries regardless of object identity.
+    """
+    payload = _canonical(
+        {
+            "application": application_to_dict(app),
+            "root": schedule_to_dict(root_schedule),
+            "config": asdict(config),
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TreeStore:
+    """A directory of ``<fingerprint>.json`` tree entries.
+
+    Parameters
+    ----------
+    root:
+        The cache directory.  Created if missing (its *parent* must
+        exist — the CLI validates this before construction).
+
+    ``hits``/``misses`` count :meth:`get` outcomes; a corrupted entry
+    counts as a miss (and is silently rebuilt by the caller's
+    subsequent :meth:`put`).
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    @staticmethod
+    def fingerprint(
+        app, root_schedule: FSchedule, config: FTQSConfig
+    ) -> str:
+        return fingerprint(app, root_schedule, config)
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def get(
+        self, app, root_schedule: FSchedule, config: FTQSConfig
+    ) -> Optional[QSTree]:
+        """The cached tree, or ``None`` (missing or corrupted entry)."""
+        path = self.path_for(fingerprint(app, root_schedule, config))
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            tree = tree_from_dict(app, data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (
+            SerializationError,
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+        ):
+            # A torn or stale entry must never poison a run: fall back
+            # to a fresh build (the put() that follows overwrites it).
+            self.misses += 1
+            return None
+        self.hits += 1
+        return tree
+
+    def put(
+        self, app, root_schedule: FSchedule, config: FTQSConfig, tree: QSTree
+    ) -> str:
+        """Persist ``tree`` under its fingerprint; returns the path."""
+        path = self.path_for(fingerprint(app, root_schedule, config))
+        data = tree_to_dict(tree)
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.root, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(data, stream, sort_keys=True)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.root) if name.endswith(".json")
+        )

@@ -335,6 +335,7 @@ def ftqs(
     synthesis: str = "fast",
     jobs: int = 1,
     stats=None,
+    pool=None,
 ) -> QSTree:
     """Build the fault-tolerant quasi-static tree Φ (paper Fig. 7).
 
@@ -349,12 +350,18 @@ def ftqs(
       layer's candidates across worker processes (also identical for
       any job count).  ``stats`` may be a
       :class:`~repro.quasistatic.synthesis.SynthesisStats` to
-      accumulate construction counters across calls.
+      accumulate construction counters across calls, and ``pool`` a
+      shared generic :class:`~repro.runtime.engine.parallel.TaskPool`
+      borrowed from a
+      :class:`repro.pipeline.resources.ResourceManager` (used only by
+      the fast engine with ``jobs > 1``).
     """
     if synthesis == "fast":
         from repro.quasistatic.synthesis import ftqs_fast
 
-        return ftqs_fast(app, root_schedule, config, jobs=jobs, stats=stats)
+        return ftqs_fast(
+            app, root_schedule, config, jobs=jobs, stats=stats, pool=pool
+        )
     if synthesis != "reference":
         raise ValueError(
             f"unknown synthesis engine {synthesis!r}; expected one of "
@@ -425,13 +432,14 @@ def schedule_application(
     synthesis: str = "fast",
     jobs: int = 1,
     stats=None,
+    pool=None,
 ) -> SchedulingStrategyResult:
     """The paper's ``SchedulingStrategy`` (Fig. 6).
 
     Generates the root f-schedule with FTSS; raises
     :class:`~repro.errors.UnschedulableError` when no fault-tolerant
     schedule exists; otherwise grows the quasi-static tree with FTQS
-    (``synthesis``/``jobs``/``stats`` route to :func:`ftqs`).
+    (``synthesis``/``jobs``/``stats``/``pool`` route to :func:`ftqs`).
     """
     if config is None:
         config = FTQSConfig(max_schedules=max_schedules)
@@ -441,7 +449,15 @@ def schedule_application(
             "no f-schedule meets all hard deadlines under the fault "
             "hypothesis"
         )
-    tree = ftqs(app, root, config, synthesis=synthesis, jobs=jobs, stats=stats)
+    tree = ftqs(
+        app,
+        root,
+        config,
+        synthesis=synthesis,
+        jobs=jobs,
+        stats=stats,
+        pool=pool,
+    )
     return SchedulingStrategyResult(
         app=app, root_schedule=root, tree=tree, stats=stats
     )

@@ -123,7 +123,10 @@ class SynthesisStats:
     ``memo_hits`` counts candidates whose tail schedule came out of the
     memo instead of a fresh FTSS run; with ``jobs > 1`` the workers'
     memos are process-local, so the counters reflect only parent-side
-    work.
+    work.  ``store_hits``/``store_misses`` count tree-store lookups
+    when the caller synthesizes through a
+    :class:`repro.pipeline.store.TreeStore` (a hit skips the build
+    entirely, so ``trees_built`` stays untouched).
     """
 
     trees_built: int = 0
@@ -132,6 +135,8 @@ class SynthesisStats:
     memo_hits: int = 0
     tails_scheduled: int = 0
     wall_seconds: float = 0.0
+    store_hits: int = 0
+    store_misses: int = 0
 
     def merge(self, other: "SynthesisStats") -> None:
         self.trees_built += other.trees_built
@@ -140,15 +145,24 @@ class SynthesisStats:
         self.memo_hits += other.memo_hits
         self.tails_scheduled += other.tails_scheduled
         self.wall_seconds += other.wall_seconds
+        self.store_hits += other.store_hits
+        self.store_misses += other.store_misses
 
     def summary_line(self) -> str:
         """One-line summary mirroring the simulate fast-path line."""
+        store = ""
+        if self.store_hits or self.store_misses:
+            store = (
+                f", store {self.store_hits} hits / "
+                f"{self.store_misses} misses"
+            )
         return (
             f"synthesis: {self.trees_built} tree(s), "
             f"{self.nodes_expanded} nodes expanded, "
             f"{self.candidates_evaluated} candidates "
             f"({self.memo_hits} memo hits), "
             f"{self.wall_seconds:.2f}s"
+            f"{store}"
         )
 
 
@@ -977,6 +991,32 @@ def _synthesis_worker_eval(task):
     )
 
 
+#: Worker engine for *contextual* tasks on a shared generic pool:
+#: ``(token, engine)`` of the most recently seen context.
+_SYNTH_CTX: Optional[Tuple[int, "SynthesisEngine"]] = None
+
+
+def _synthesis_worker_eval_ctx(task):
+    """Contextual twin of :func:`_synthesis_worker_eval`.
+
+    ``task`` is ``(token, app, config, inner)``.  Workers of a generic
+    pool (one pool per experiment run, spawned without an initializer
+    — see :class:`repro.pipeline.resources.ResourceManager`) build
+    their engine on first sight of a token and replace it when a new
+    token arrives, so one pool serves every application of a sweep.
+    The engine itself is the same ``jobs=1`` engine the initializer
+    path installs, hence identical candidate evaluations.
+    """
+    global _SYNTH_WORKER, _SYNTH_CTX
+    token, app, config, inner = task
+    if _SYNTH_CTX is None or _SYNTH_CTX[0] != token:
+        _SYNTH_CTX = (token, SynthesisEngine(app, config, jobs=1))
+    # _synthesis_worker_eval reads the module global; point it at the
+    # current context so both task forms share one evaluation path.
+    _SYNTH_WORKER = _SYNTH_CTX[1]
+    return _synthesis_worker_eval(inner)
+
+
 class SynthesisEngine:
     """The fast FTQS tree builder (see the module docstring).
 
@@ -986,6 +1026,14 @@ class SynthesisEngine:
     reuse every memoized tail.  Use as a context manager (or call
     :meth:`close`) when ``jobs > 1`` so the pool is released
     deterministically.
+
+    ``pool`` may be a *borrowed* generic
+    :class:`~repro.runtime.engine.parallel.TaskPool` (owned by a
+    :class:`repro.pipeline.resources.ResourceManager`): candidate tasks
+    then carry their own (app, config) context instead of relying on a
+    pool initializer, so one pool spawned once serves every
+    application of an experiment sweep; :meth:`close` leaves it
+    running.
     """
 
     def __init__(
@@ -994,6 +1042,7 @@ class SynthesisEngine:
         config: FTQSConfig = DEFAULT_FTQS_CONFIG,
         jobs: int = 1,
         stats: Optional[SynthesisStats] = None,
+        pool=None,
     ):
         self.app = app
         self.config = config
@@ -1004,6 +1053,8 @@ class SynthesisEngine:
         self._profile_cache: Dict[Tuple[int, int], TailProfile] = {}
         self._spec_cache: Dict[Tuple, FSchedule] = {}
         self._pool = None
+        self._borrowed_pool = pool
+        self._ctx_token = None
         self._finalizer = None
         self._best_similarity: Dict[int, float] = {}
         self._expected_utility: Dict[int, float] = {}
@@ -1013,6 +1064,12 @@ class SynthesisEngine:
     # Pool lifecycle
     # ------------------------------------------------------------------
     def _ensure_pool(self):
+        if self._borrowed_pool is not None:
+            if self._ctx_token is None:
+                from repro.runtime.engine.parallel import next_context_token
+
+                self._ctx_token = next_context_token()
+            return self._borrowed_pool
         if self._pool is None:
             from repro.runtime.engine.parallel import TaskPool
 
@@ -1027,11 +1084,13 @@ class SynthesisEngine:
         return self._pool
 
     def close(self) -> None:
-        """Terminate the candidate worker pool (no-op when jobs == 1)."""
+        """Terminate the candidate worker pool (no-op when jobs == 1
+        or when the pool is borrowed from a resource manager)."""
         if self._finalizer is not None:
             self._finalizer()
             self._finalizer = None
         self._pool = None
+        self._ctx_token = None
 
     def __enter__(self) -> "SynthesisEngine":
         return self
@@ -1337,7 +1396,25 @@ class SynthesisEngine:
                 in jobs_plan
             ]
             self.stats.candidates_evaluated += len(tasks)
-            raw = self._ensure_pool().map(_synthesis_worker_eval, tasks)
+            pool = self._ensure_pool()
+            if self._borrowed_pool is not None:
+                # Every task carries (app, config): Pool has no way to
+                # target specific workers, so a one-shot "prime"
+                # broadcast cannot be made reliable, and the parent
+                # never knows which workers already hold the token.
+                # The cost is bounded, not per-task: Pool.map pickles
+                # tasks in chunks and pickle memoizes repeated object
+                # references within a chunk, so the app serializes
+                # once per chunk (~4 per worker per map call).
+                raw = pool.map(
+                    _synthesis_worker_eval_ctx,
+                    [
+                        (self._ctx_token, self.app, self.config, task)
+                        for task in tasks
+                    ],
+                )
+            else:
+                raw = pool.map(_synthesis_worker_eval, tasks)
             prior_dropped = frozenset(schedule.prior_dropped)
             for item, outcome in zip(jobs_plan, raw):
                 if outcome is None:
@@ -1489,11 +1566,17 @@ def ftqs_fast(
     config: FTQSConfig = DEFAULT_FTQS_CONFIG,
     jobs: int = 1,
     stats: Optional[SynthesisStats] = None,
+    pool=None,
 ) -> QSTree:
     """Build the quasi-static tree with the fast synthesis engine.
 
     Byte-identical to :func:`repro.quasistatic.ftqs.ftqs` with
-    ``synthesis="reference"`` for any ``jobs`` count.
+    ``synthesis="reference"`` for any ``jobs`` count.  ``pool`` may be
+    a shared generic :class:`~repro.runtime.engine.parallel.TaskPool`
+    (see :class:`repro.pipeline.resources.ResourceManager`); it is
+    borrowed, not closed.
     """
-    with SynthesisEngine(app, config, jobs=jobs, stats=stats) as engine:
+    with SynthesisEngine(
+        app, config, jobs=jobs, stats=stats, pool=pool
+    ) as engine:
         return engine.build(root_schedule)

@@ -23,6 +23,7 @@ differential measurements.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import weakref
 from multiprocessing import shared_memory
@@ -31,6 +32,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import RuntimeModelError
+
+#: Parent-side unique tokens for worker-context switching (see
+#: :func:`_simulate_slice_ctx` and the synthesis counterpart).  A token
+#: names one published evaluation context; workers re-initialize
+#: themselves when they see a token they do not hold yet, which is what
+#: makes a generic pool reusable across applications.
+_CONTEXT_TOKENS = itertools.count(1)
+
+
+def next_context_token() -> int:
+    """A fresh parent-process-unique worker-context token."""
+    return next(_CONTEXT_TOKENS)
 
 #: One shard's raw result per fault count: (utilities, misses, total
 #: switches, total observed faults, oracle fallbacks).
@@ -122,6 +135,50 @@ def _simulate_slice(task) -> _ShardRaw:
     return out
 
 
+#: Worker-process state for *contextual* tasks (shared generic pools).
+#: Holds only the most recent context: experiment sweeps move from one
+#: application to the next, never back.
+_CTX_WORKER: Optional[Dict] = None
+
+
+def _simulate_slice_ctx(task):
+    """Worker entry point for tasks carrying their own context.
+
+    ``task`` is ``(context, inner)`` where ``context`` is
+    ``(token, app, names, specs, engine)`` and ``inner`` is the
+    ``(plan_key, plan, lo, hi)`` tuple of :func:`_simulate_slice`.  A
+    worker of a *generic* pool (spawned once per experiment run, no
+    initializer) installs the context on first sight of its token —
+    attaching the published shared-memory batches, no copies — and
+    reuses it for every later task with the same token.  A new token
+    replaces the previous context, closing its segment attachments, so
+    one pool serves any number of applications in sequence.
+    """
+    global _WORKER, _CTX_WORKER
+    context, inner = task
+    token, app, names, specs, engine = context
+    state = _CTX_WORKER
+    if state is None or state["token"] != token:
+        if state is not None:
+            for segment in state["segments"]:
+                segment.close()
+        batches, segments = _attach_batches(tuple(names), specs)
+        state = {
+            "token": token,
+            "app": app,
+            "engine": engine,
+            "batches": batches,
+            "segments": segments,
+            "plan_key": None,
+            "simulator": None,
+        }
+        _CTX_WORKER = state
+    # _simulate_slice reads the module global; point it at the current
+    # context so both task forms share one execution path.
+    _WORKER = state
+    return _simulate_slice(inner)
+
+
 def _release(pool, segments) -> None:
     """Tear down a pool and its shared segments (idempotent-by-use)."""
     if pool is not None:
@@ -149,6 +206,14 @@ class TaskPool:
       scenario batches;
     * :class:`repro.quasistatic.synthesis.SynthesisEngine` — FTQS
       candidate-evaluation tasks of one expansion layer.
+
+    A pool spawned with *no* initializer is a **generic** pool: its
+    workers carry no application state and are (re-)initialized by the
+    tasks themselves (contextual tasks, see
+    :func:`_simulate_slice_ctx`).  That is how
+    :class:`repro.pipeline.resources.ResourceManager` shares one pool
+    across every application of an experiment run instead of paying a
+    spawn per application.
     """
 
     def __init__(self, processes: int, initializer=None, initargs=()):
@@ -156,6 +221,15 @@ class TaskPool:
             raise RuntimeModelError(
                 f"worker count must be positive, got {processes}"
             )
+        # Start the shared-memory resource tracker *before* forking
+        # workers.  A generic pool is often spawned before the first
+        # SharedMemory segment exists; workers forked without a running
+        # tracker would each lazily start their own on attach, and those
+        # private trackers double-unlink the parent's segments at
+        # shutdown (spurious "leaked shared_memory" warnings).
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
         self.processes = processes
         self._pool = multiprocessing.get_context().Pool(
             processes=processes,
@@ -196,6 +270,13 @@ class ParallelEvaluator:
     scenario batches are shared instead of re-derived).  ``evaluate``
     returns the same ``{fault count: EvaluationOutcome}`` mapping a
     single-process evaluator produces.
+
+    ``pool`` may be a *borrowed* generic :class:`TaskPool` (owned by a
+    :class:`repro.pipeline.resources.ResourceManager`): the evaluator
+    then publishes its scenario segments as a worker context and ships
+    context-carrying tasks instead of spawning its own pool;
+    :meth:`close` releases the segments but leaves the pool running for
+    the next application.
     """
 
     def __init__(
@@ -207,6 +288,7 @@ class ParallelEvaluator:
         engine: str = "batched",
         jobs: int = 2,
         source=None,
+        pool: Optional[TaskPool] = None,
     ):
         if jobs < 1:
             raise RuntimeModelError(f"jobs must be positive, got {jobs}")
@@ -227,6 +309,8 @@ class ParallelEvaluator:
         self._source_ref = weakref.ref(source) if source is not None else None
         self._own_source = None
         self._pool = None
+        self._borrowed_pool = pool
+        self._context = None
         self._segments: List[shared_memory.SharedMemory] = []
         self._plan_counter = 0
         self._plan_keys: Dict[int, Tuple[object, int]] = {}
@@ -293,6 +377,27 @@ class ParallelEvaluator:
         return names, specs
 
     def _ensure_pool(self, processes: int) -> None:
+        if self._borrowed_pool is not None:
+            if self._context is None:
+                try:
+                    names, specs = self._publish(self._batches())
+                except BaseException:
+                    _release(None, self._segments)
+                    self._segments = []
+                    raise
+                self._context = (
+                    next_context_token(),
+                    self.app,
+                    names,
+                    specs,
+                    self.engine,
+                )
+                # The borrowed pool outlives us; only the segments need
+                # a safety net.
+                self._finalizer = weakref.finalize(
+                    self, _release, None, list(self._segments)
+                )
+            return
         if self._pool is not None:
             return
         try:
@@ -310,13 +415,19 @@ class ParallelEvaluator:
         )
 
     def close(self) -> None:
-        """Terminate the pool and unlink the shared segments."""
+        """Release the segments; terminate the pool if it is ours.
+
+        With a borrowed pool only the published scenario segments are
+        unlinked (workers drop their attachments when the next context
+        arrives); the pool itself belongs to the resource manager.
+        """
         if self._finalizer is not None:
             self._finalizer()
             self._finalizer = None
         elif self._segments:  # published but never pooled
             _release(self._pool, self._segments)
         self._pool = None
+        self._context = None
         self._segments = []
         self._plan_keys.clear()
 
@@ -367,7 +478,13 @@ class ParallelEvaluator:
         plan_key = self._plan_key(plan)
         tasks = [(plan_key, plan, lo, hi) for lo, hi in bounds]
         self._ensure_pool(len(tasks))
-        shards = self._pool.map(_simulate_slice, tasks)
+        if self._borrowed_pool is not None:
+            shards = self._borrowed_pool.map(
+                _simulate_slice_ctx,
+                [(self._context, task) for task in tasks],
+            )
+        else:
+            shards = self._pool.map(_simulate_slice, tasks)
         outcomes: Dict[int, EvaluationOutcome] = {}
         for faults in self.fault_counts:
             utilities: List[float] = []

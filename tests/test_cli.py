@@ -69,3 +69,65 @@ def test_unknown_experiment_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestArgumentValidation:
+    """Bad worker counts and cache paths die with a clear one-liner,
+    not a traceback out of the pool or filesystem machinery."""
+
+    @pytest.mark.parametrize("flag", ["--jobs", "--synthesis-jobs"])
+    @pytest.mark.parametrize("value", ["0", "-2", "two"])
+    def test_non_positive_jobs_rejected(self, capsys, flag, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "cc", flag, value])
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert flag in err
+
+    def test_simulate_jobs_validated_too(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "a.json", "t.json", "--jobs", "0"])
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_missing_cache_dir_parent_rejected(self, tmp_path, capsys):
+        missing = str(tmp_path / "no" / "such" / "cache")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "cc", "--cache-dir", missing])
+        message = str(excinfo.value)
+        assert "--cache-dir" in message and "does not exist" in message
+
+    def test_cache_dir_colliding_with_a_file_rejected(self, tmp_path):
+        collision = tmp_path / "taken"
+        collision.write_text("not a cache")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "cc", "--cache-dir", str(collision)])
+        message = str(excinfo.value)
+        assert "--cache-dir" in message and "not a directory" in message
+
+    def test_cache_dir_itself_may_be_new(self, tmp_path, capsys):
+        """Only the parent must exist; the store creates the leaf."""
+        cache = tmp_path / "cache"
+        assert main(["experiment", "cc", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "Cruise controller" in out
+        assert "store 0 hits / 1 misses" in out
+        assert cache.is_dir() and len(list(cache.glob("*.json"))) == 1
+
+
+def test_experiment_cache_dir_second_run_all_hits(tmp_path, capsys):
+    """The acceptance run: a repeated cached experiment reports 100%
+    store hits and zero FTQS builds on the synthesis summary line."""
+    cache = str(tmp_path / "trees")
+    assert main(["experiment", "cc", "--cache-dir", cache]) == 0
+    first = capsys.readouterr().out
+    assert "synthesis: 1 tree(s)" in first
+    assert "store 0 hits / 1 misses" in first
+
+    assert main(["experiment", "cc", "--cache-dir", cache]) == 0
+    second = capsys.readouterr().out
+    assert "synthesis: 0 tree(s)" in second  # zero builds
+    assert "store 1 hits / 0 misses" in second  # 100% hits
+    # The cached run reports the same table (bit-identical evaluation).
+    assert first.split("synthesis:")[0].strip().splitlines()[:12] == (
+        second.split("synthesis:")[0].strip().splitlines()[:12]
+    )

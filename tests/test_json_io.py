@@ -138,3 +138,96 @@ class TestTreeRoundTrip:
         path.write_text("[1, 2, 3]")
         with pytest.raises(SerializationError):
             load_json(str(path))
+
+
+def assert_trees_identical(tree, back):
+    """Full structural identity: nodes, schedules, arcs, intervals.
+
+    Stricter than behavioural equivalence — this is what the tree
+    store relies on: a reloaded tree must be indistinguishable from
+    the freshly built one, entry for entry.
+    """
+    assert len(back) == len(tree)
+    assert back.root_id == tree.root_id
+    for node in tree:
+        twin = back.node(node.node_id)
+        assert twin.parent_id == node.parent_id
+        assert twin.layer == node.layer
+        assert twin.switch_process == node.switch_process
+        assert twin.assumed_faults == node.assumed_faults
+        schedule, mirror = node.schedule, twin.schedule
+        assert mirror.entries == schedule.entries
+        assert mirror.start_time == schedule.start_time
+        assert mirror.fault_budget == schedule.fault_budget
+        assert mirror.prior_completed == schedule.prior_completed
+        assert mirror.prior_dropped == schedule.prior_dropped
+        assert mirror.slack_sharing == schedule.slack_sharing
+        assert len(twin.arcs) == len(node.arcs)
+        for a, b in zip(node.arcs, twin.arcs):
+            # (lo, hi) is the switching interval computed by interval
+            # partitioning — integer-exact in the serialized form.
+            assert (
+                a.process,
+                a.lo,
+                a.hi,
+                a.required_faults,
+                a.target,
+            ) == (b.process, b.lo, b.hi, b.required_faults, b.target)
+
+
+class TestFastEngineTreeRoundTrip:
+    """JSON fidelity for trees emitted by the *fast* synthesis engine.
+
+    The pipeline's tree store serializes fast-engine trees and reloads
+    them on later runs; its correctness rests on this round trip being
+    the identity, so every structural detail is asserted — not just
+    behaviour.
+    """
+
+    @pytest.mark.parametrize(
+        "fixture, schedules",
+        [("fig1_app", 6), ("fig8_app", 8), ("small_app", 8)],
+    )
+    def test_structural_identity(self, fixture, schedules, request):
+        app = request.getfixturevalue(fixture)
+        root = ftss(app)
+        tree = ftqs(
+            app, root, FTQSConfig(max_schedules=schedules), synthesis="fast"
+        )
+        back = tree_from_dict(app, tree_to_dict(tree))
+        assert_trees_identical(tree, back)
+
+    def test_identity_survives_the_file_system(self, tmp_path, small_app):
+        root = ftss(small_app)
+        tree = ftqs(
+            small_app, root, FTQSConfig(max_schedules=8), synthesis="fast"
+        )
+        path = str(tmp_path / "fast_tree.json")
+        save_json(tree_to_dict(tree), path)
+        back = tree_from_dict(small_app, load_json(path))
+        assert_trees_identical(tree, back)
+
+    def test_fault_children_intervals_preserved(self, fig8_app):
+        """Fault-conditioned arcs (required_faults > 0) round-trip."""
+        root = ftss(fig8_app)
+        tree = ftqs(
+            fig8_app,
+            root,
+            FTQSConfig(max_schedules=8, max_fault_variants=2),
+            synthesis="fast",
+        )
+        back = tree_from_dict(fig8_app, tree_to_dict(tree))
+        assert_trees_identical(tree, back)
+        conditioned = [
+            arc
+            for node in tree
+            for arc in node.arcs
+            if arc.required_faults > 0
+        ]
+        reloaded = [
+            arc
+            for node in back
+            for arc in node.arcs
+            if arc.required_faults > 0
+        ]
+        assert len(conditioned) == len(reloaded)

@@ -92,6 +92,119 @@ def test_close_releases_and_respawns(fig1_app, counted_spawns):
         evaluator.close()
 
 
+@pytest.fixture
+def counted_manager_spawns(monkeypatch):
+    """Count generic-pool spawns of a ResourceManager."""
+    from repro.pipeline.resources import ResourceManager
+
+    spawns = []
+    original = ResourceManager._spawn_pool
+
+    def counting(self, jobs):
+        spawns.append(jobs)
+        return original(self, jobs)
+
+    monkeypatch.setattr(ResourceManager, "_spawn_pool", counting)
+    return spawns
+
+
+def _schedulable_apps(n, n_processes=10, start_seed=1):
+    from repro.scheduling.ftss import ftss as build_root
+    from repro.workloads.suite import WorkloadSpec, generate_application
+
+    apps = []
+    seed = start_seed
+    while len(apps) < n:
+        app = generate_application(
+            WorkloadSpec(n_processes=n_processes), seed=seed
+        )
+        seed += 1
+        root = build_root(app)
+        if root is not None:
+            apps.append((app, root))
+    return apps
+
+
+def test_one_synthesis_pool_across_applications(counted_manager_spawns):
+    """A multi-application sweep with synthesis jobs N spawns exactly
+    one synthesis TaskPool for the whole run — the ROADMAP open item
+    this pipeline closes — and the trees stay identical."""
+    from repro.io.json_io import tree_to_dict
+    from repro.pipeline.resources import ResourceManager
+    from repro.quasistatic.ftqs import FTQSConfig, ftqs
+
+    config = FTQSConfig(max_schedules=6)
+    with ResourceManager() as resources:
+        for app, root in _schedulable_apps(3):
+            shared = ftqs(
+                app, root, config, jobs=2,
+                pool=resources.synthesis_pool(2),
+            )
+            assert tree_to_dict(shared) == tree_to_dict(
+                ftqs(app, root, config)
+            )
+    assert counted_manager_spawns == [2], (
+        f"expected one 2-worker synthesis pool for the whole sweep, "
+        f"saw {counted_manager_spawns}"
+    )
+
+
+def test_one_evaluation_pool_across_applications(counted_manager_spawns):
+    """Evaluators of successive applications borrow one shared pool;
+    closing an evaluator releases only its scenario segments."""
+    from repro.pipeline.resources import ResourceManager
+
+    with ResourceManager() as resources:
+        for app, root in _schedulable_apps(3):
+            with resources.evaluator(
+                app, n_scenarios=12, fault_counts=[0, 1], seed=3,
+                engine="batched", jobs=2,
+            ) as evaluator:
+                shared = evaluator.evaluate(root)
+            with MonteCarloEvaluator(
+                app, n_scenarios=12, fault_counts=[0, 1], seed=3,
+                engine="batched", jobs=1,
+            ) as evaluator:
+                single = evaluator.evaluate(root)
+            for faults in (0, 1):
+                assert (
+                    shared[faults].utilities == single[faults].utilities
+                )
+    assert counted_manager_spawns == [2], (
+        f"expected one 2-worker evaluation pool for the whole sweep, "
+        f"saw {counted_manager_spawns}"
+    )
+
+
+def test_driver_sweep_spawns_one_pool_per_kind(counted_manager_spawns):
+    """End-to-end: a Table 1 run with evaluation and synthesis jobs
+    spawns one pool of each kind, not one per application or per M."""
+    from dataclasses import replace
+
+    from repro.evaluation.experiments.table1 import (
+        Table1Config,
+        run_table1,
+    )
+    from repro.pipeline.resources import ResourceManager
+
+    config = replace(
+        Table1Config(
+            tree_sizes=(1, 2, 4), n_apps=2, n_processes=10,
+            n_scenarios=16, seed=5,
+        ),
+        jobs=2,
+    )
+    with ResourceManager() as resources:
+        rows = run_table1(
+            config, synthesis_jobs=2, resources=resources
+        )
+    assert [r.nodes for r in rows] == [1, 2, 4]
+    assert sorted(counted_manager_spawns) == [2, 2], (
+        f"expected exactly one evaluation + one synthesis pool, saw "
+        f"{counted_manager_spawns}"
+    )
+
+
 def test_outcomes_carry_fallback_counts(fig1_app):
     """Fallback counts merge across shards and engines coherently."""
     plan = ftss(fig1_app)

@@ -1,0 +1,134 @@
+"""Differential test: the pipeline-based drivers reproduce the
+pre-refactor outputs byte-for-byte.
+
+``tests/data/driver_golden.json`` was captured from the drivers
+*before* they were rebuilt on :mod:`repro.pipeline` (run this module
+as a script to regenerate it from the current code — only do that
+deliberately, it redefines the reference).  Every row of every driver
+is JSON-normalized (``json.loads(json.dumps(...))``) on both sides, so
+equality of the normalized forms implies bit-identical floats: Python
+serializes floats with ``repr`` (shortest round-trip) and parses them
+back to the same IEEE-754 double.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro.evaluation.experiments.ablations import AblationConfig, run_ablations
+from repro.evaluation.experiments.cc import CCConfig, run_cc
+from repro.evaluation.experiments.fig9 import Fig9Config, run_fig9
+from repro.evaluation.experiments.sweeps import (
+    SweepConfig,
+    run_fault_budget_sweep,
+    run_soft_ratio_sweep,
+)
+from repro.evaluation.experiments.table1 import Table1Config, run_table1
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "driver_golden.json"
+)
+
+FIG9 = Fig9Config(
+    sizes=(10,), apps_per_size=2, n_scenarios=30, max_schedules=4, seed=3
+)
+TABLE1 = Table1Config(
+    tree_sizes=(1, 2, 4), n_apps=2, n_processes=12, n_scenarios=30, seed=3
+)
+CC = CCConfig(n_scenarios=40, max_schedules=6)
+ABLATIONS = AblationConfig(
+    n_apps=1,
+    n_processes=10,
+    n_scenarios=30,
+    max_schedules=4,
+    replanner_scenarios=2,
+)
+SWEEP = SweepConfig(
+    n_apps=2, n_processes=12, n_scenarios=30, max_schedules=4
+)
+
+
+#: Wall-clock fields — inherently non-reproducible, masked before
+#: comparison (presence is preserved: measured values become 1.0).
+TIMING_FIELDS = ("runtime_seconds", "build_seconds", "overhead_ms")
+
+
+def _mask_timing(value):
+    if isinstance(value, dict):
+        return {
+            key: (
+                (1.0 if inner is not None else None)
+                if key in TIMING_FIELDS
+                else _mask_timing(inner)
+            )
+            for key, inner in value.items()
+        }
+    if isinstance(value, list):
+        return [_mask_timing(inner) for inner in value]
+    return value
+
+
+def _normalize(value):
+    """JSON round-trip: the canonical comparable form of driver rows."""
+    return json.loads(json.dumps(_mask_timing(value), sort_keys=True))
+
+
+def capture_all() -> dict:
+    """Run every driver at the differential scale; rows as JSON forms."""
+    return {
+        "fig9": _normalize([asdict(r) for r in run_fig9(FIG9)]),
+        "table1": _normalize([asdict(r) for r in run_table1(TABLE1)]),
+        "cc": _normalize(asdict(run_cc(CC))),
+        "ablations": _normalize(
+            [asdict(r) for r in run_ablations(ABLATIONS)]
+        ),
+        "sweep_soft_ratio": _normalize(
+            [
+                asdict(r)
+                for r in run_soft_ratio_sweep((0.35, 0.65), SWEEP, k=2)
+            ]
+        ),
+        "sweep_fault_budget": _normalize(
+            [
+                asdict(r)
+                for r in run_fault_budget_sweep((0, 2), SWEEP)
+            ]
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def current():
+    return capture_all()
+
+
+@pytest.mark.parametrize(
+    "driver",
+    [
+        "fig9",
+        "table1",
+        "cc",
+        "ablations",
+        "sweep_soft_ratio",
+        "sweep_fault_budget",
+    ],
+)
+def test_driver_outputs_unchanged(driver, golden, current):
+    assert current[driver] == golden[driver]
+
+
+if __name__ == "__main__":
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(capture_all(), handle, indent=2, sort_keys=True)
+    print(f"regenerated {GOLDEN_PATH}")

@@ -1,0 +1,182 @@
+"""The content-addressed tree store and the pipeline's synthesize path.
+
+What the store guarantees: identical (application, root, config)
+inputs reload the identical tree (zero builds), different inputs get
+different addresses, and a corrupted entry silently degrades to a
+rebuild — never a crash, never a wrong tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.evaluation.experiments.table1 import Table1Config, run_table1
+from repro.evaluation.montecarlo import MonteCarloEvaluator
+from repro.pipeline import TreeStore, fingerprint, synthesize_tree
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.quasistatic.synthesis import SynthesisStats
+from repro.scheduling.ftss import ftss
+from test_json_io import assert_trees_identical
+
+CONFIG = FTQSConfig(max_schedules=6)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TreeStore(str(tmp_path / "cache"))
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self, fig1_app):
+        from repro.examples_support import paper_fig1_application
+
+        root = ftss(fig1_app)
+        twin_app = paper_fig1_application()
+        twin_root = ftss(twin_app)
+        # Value-identical inputs → same address, regardless of object
+        # identity.
+        assert fingerprint(fig1_app, root, CONFIG) == fingerprint(
+            twin_app, twin_root, CONFIG
+        )
+
+    def test_sensitive_to_config(self, fig1_app):
+        root = ftss(fig1_app)
+        assert fingerprint(fig1_app, root, CONFIG) != fingerprint(
+            fig1_app, root, FTQSConfig(max_schedules=7)
+        )
+        # The embedded FTSS config is part of the address too.
+        from repro.scheduling.ftss import FTSSConfig
+
+        ablated = FTQSConfig(
+            max_schedules=6, ftss=FTSSConfig(drop_heuristic=False)
+        )
+        assert fingerprint(fig1_app, root, CONFIG) != fingerprint(
+            fig1_app, root, ablated
+        )
+
+    def test_sensitive_to_application(self, fig1_app, fig8_app):
+        root1 = ftss(fig1_app)
+        root8 = ftss(fig8_app)
+        assert fingerprint(fig1_app, root1, CONFIG) != fingerprint(
+            fig8_app, root8, CONFIG
+        )
+
+
+class TestStoreHitMiss:
+    def test_miss_then_hit(self, store, fig1_app):
+        root = ftss(fig1_app)
+        assert store.get(fig1_app, root, CONFIG) is None
+        assert (store.hits, store.misses) == (0, 1)
+        tree = ftqs(fig1_app, root, CONFIG)
+        store.put(fig1_app, root, CONFIG, tree)
+        cached = store.get(fig1_app, root, CONFIG)
+        assert cached is not None
+        assert (store.hits, store.misses) == (1, 1)
+        assert_trees_identical(tree, cached)
+
+    def test_corrupted_entry_falls_back_to_miss(self, store, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, CONFIG)
+        path = store.put(fig1_app, root, CONFIG, tree)
+        with open(path, "w") as handle:
+            handle.write('{"version": 1, "root": 0, "nodes": [{"truncated')
+        assert store.get(fig1_app, root, CONFIG) is None
+        assert store.misses == 1
+        # A rebuild overwrites the torn entry and the store recovers.
+        store.put(fig1_app, root, CONFIG, tree)
+        recovered = store.get(fig1_app, root, CONFIG)
+        assert recovered is not None
+        assert_trees_identical(tree, recovered)
+
+    def test_semantically_corrupt_entry_is_a_miss(self, store, fig1_app):
+        """Valid JSON, invalid tree record — also degrades to a miss."""
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, CONFIG)
+        path = store.put(fig1_app, root, CONFIG, tree)
+        with open(path, "w") as handle:
+            json.dump({"version": 1, "root": 0, "nodes": []}, handle)
+        assert store.get(fig1_app, root, CONFIG) is None
+
+    def test_entries_are_files_under_root(self, store, fig1_app):
+        root = ftss(fig1_app)
+        tree = ftqs(fig1_app, root, CONFIG)
+        path = store.put(fig1_app, root, CONFIG, tree)
+        assert os.path.dirname(path) == store.root
+        assert len(store) == 1
+        # No temp files left behind by the atomic write.
+        assert all(
+            name.endswith(".json") for name in os.listdir(store.root)
+        )
+
+
+class TestSynthesizeTree:
+    def test_second_call_skips_the_build(self, store, fig1_app):
+        root = ftss(fig1_app)
+        first = SynthesisStats()
+        tree = synthesize_tree(
+            fig1_app, root, CONFIG, stats=first, store=store
+        )
+        assert (first.store_hits, first.store_misses) == (0, 1)
+        assert first.trees_built == 1
+        second = SynthesisStats()
+        cached = synthesize_tree(
+            fig1_app, root, CONFIG, stats=second, store=store
+        )
+        assert (second.store_hits, second.store_misses) == (1, 0)
+        assert second.trees_built == 0  # zero FTQS builds on a hit
+        assert_trees_identical(tree, cached)
+
+    def test_cached_tree_evaluates_bit_identically(self, store, fig1_app):
+        """Store-loaded trees replay scenarios bit-identically."""
+        root = ftss(fig1_app)
+        fresh = synthesize_tree(fig1_app, root, CONFIG, store=store)
+        cached = synthesize_tree(fig1_app, root, CONFIG, store=store)
+        with MonteCarloEvaluator(
+            fig1_app,
+            n_scenarios=40,
+            fault_counts=[0, 1],
+            seed=11,
+            engine="batched",
+        ) as evaluator:
+            results = evaluator.compare({"fresh": fresh, "cached": cached})
+        for faults in (0, 1):
+            assert (
+                results["cached"][faults].utilities
+                == results["fresh"][faults].utilities
+            )
+            assert (
+                results["cached"][faults].mean_switches
+                == results["fresh"][faults].mean_switches
+            )
+
+
+class TestDriverLevelCaching:
+    """A repeated experiment run is a 100%-hit, zero-build run."""
+
+    CONFIG = Table1Config(
+        tree_sizes=(1, 2, 4), n_apps=1, n_processes=12, n_scenarios=30,
+        seed=3,
+    )
+
+    def test_second_table1_run_is_fully_cached(self, store):
+        first = SynthesisStats()
+        rows = run_table1(self.CONFIG, stats=first, store=store)
+        assert first.trees_built > 0
+        assert first.store_hits == 0
+        assert first.store_misses == first.trees_built
+
+        second = SynthesisStats()
+        again = run_table1(self.CONFIG, stats=second, store=store)
+        assert second.trees_built == 0  # zero FTQS builds
+        assert second.store_misses == 0
+        assert second.store_hits == first.store_misses  # 100% hits
+
+        # Cached-tree evaluation is bit-identical: every reported cell
+        # matches the fresh-build run exactly.
+        for row, twin in zip(rows, again):
+            assert twin.nodes == row.nodes
+            assert twin.utility_percent == row.utility_percent
+            assert twin.n_apps == row.n_apps
