@@ -14,7 +14,7 @@ These quantify the claims the macro experiments rest on:
 import pytest
 
 from repro.evaluation.montecarlo import MonteCarloEvaluator
-from repro.faults.injection import ScenarioSampler, average_case_scenario
+from repro.faults.injection import average_case_scenario
 from repro.quasistatic.ftqs import FTQSConfig, ftqs
 from repro.runtime.online import OnlineScheduler
 from repro.runtime.replanner import run_replanning

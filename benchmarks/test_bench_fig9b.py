@@ -11,7 +11,6 @@ import pytest
 
 from repro.evaluation.experiments.fig9 import (
     Fig9Config,
-    fig9b_rows,
     format_fig9,
     run_fig9,
 )

@@ -14,7 +14,6 @@ hard process P1 always stays guaranteed.
 Run:  python examples/overload_adaptation.py
 """
 
-from repro.errors import UnschedulableError
 from repro.examples_support import paper_fig1_application
 from repro.faults import ScenarioSampler, worst_case_scenario
 from repro.faults.model import FaultScenario

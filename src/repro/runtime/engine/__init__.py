@@ -19,10 +19,14 @@ top of it:
   schedulability thresholds and piecewise-constant benefit tables of
   the clock;
 * :mod:`repro.runtime.engine.simulator` — :class:`BatchSimulator`
-  executes the compiled plan over whole batches with array operations,
-  resolving faulted soft processes against the decision tables and
-  falling back to the oracle only for plans outside the fast path's
-  state model;
+  executes the compiled plan over whole batches through one
+  *segment-stepped* cohort core: between decision points (positions
+  where a scheduled soft process is faulted) a cohort advances a whole
+  run of positions in one closed-form vectorized step, at decision
+  points it consults the compiled tables and splits; no-soft-fault
+  scenarios are the zero-decision-point special case, and the oracle
+  fallback remains only for plans outside the fast path's state
+  model;
 * :mod:`repro.runtime.engine.parallel` — :class:`ParallelEvaluator`
   shards scenario sets across a persistent pool of
   ``multiprocessing`` workers that attach the batch arrays via shared

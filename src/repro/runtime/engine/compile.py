@@ -158,13 +158,24 @@ def compile_application(app: Application) -> CompiledApplication:
 
 @dataclass(frozen=True)
 class CompiledNode:
-    """One tree node: ordered entry ids plus per-position arc tables."""
+    """One tree node: ordered entry ids plus per-position arc tables.
+
+    Besides the per-position constants, two per-segment tables feed
+    the segment-stepped simulator core: ``entry_mu`` hoists the
+    recovery-overhead gather (closed-form segment advancement adds
+    ``faults * entry_mu`` per position, so the per-id lookup happens
+    once at compile time), and ``arc_positions`` is a sorted index of
+    arc-bearing positions so a whole segment's arc evaluation is one
+    ``searchsorted`` range instead of a scan over every position.
+    """
 
     node_id: int
     entry_ids: np.ndarray            # (L,) process ids in schedule order
     entry_set: frozenset             # same ids, for overlap checks
     arcs_at: Tuple[Tuple[CompiledArc, ...], ...]  # arcs per position
     entry_caps: np.ndarray           # (L,) re-execution allotments
+    entry_mu: np.ndarray             # (L,) recovery overhead per position
+    arc_positions: np.ndarray        # sorted positions with arcs
     schedule: FSchedule = field(repr=False, compare=False)
 
     @property
@@ -183,7 +194,6 @@ class CompiledTree:
     root_id: int
     nodes: Dict[int, CompiledNode]
     scheduled_ids: frozenset         # ids appearing in any node
-    soft_scheduled_ids: np.ndarray   # soft subset, as an index array
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -230,14 +240,14 @@ def compile_tree(
                 [e.reexecutions for e in node.schedule.entries],
                 dtype=np.int64,
             ),
+            entry_mu=capp.mu[entry_ids],
+            arc_positions=np.flatnonzero(
+                np.array([bool(a) for a in arcs_at], dtype=bool)
+            ).astype(np.int64),
             schedule=node.schedule,
         )
-    soft_scheduled = np.array(
-        sorted(i for i in scheduled if not capp.is_hard[i]), dtype=np.int64
-    )
     return CompiledTree(
         root_id=tree.root_id,
         nodes=nodes,
         scheduled_ids=frozenset(scheduled),
-        soft_scheduled_ids=soft_scheduled,
     )

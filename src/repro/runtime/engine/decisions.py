@@ -167,6 +167,29 @@ class DecisionTables:
         self._thresholds: Dict[Tuple[int, int, int], np.ndarray] = {}
         self._probe_info: Dict[Tuple[int, int], ProbeInfo] = {}
         self._benefit: Dict[Tuple[int, int, FrozenSet[int]], object] = {}
+        self._decision_points: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Decision-point index
+    # ------------------------------------------------------------------
+    def decision_points(self, node_id: int) -> np.ndarray:
+        """Sorted positions of ``node_id`` that can need a §2.2 call.
+
+        Only a scheduled *soft* entry can trigger the drop/re-execute
+        decision — hard processes always re-execute, in closed form.
+        The segment-stepped simulator core walks a node as maximal
+        runs between these positions (filtered at run time by whether
+        any cohort member actually faults there), so this index is the
+        node's segmentation, cached per plan.
+        """
+        points = self._decision_points.get(node_id)
+        if points is None:
+            entry_ids = self.ctree.nodes[node_id].entry_ids
+            points = np.flatnonzero(
+                ~self.capp.is_hard[entry_ids]
+            ).astype(np.int64)
+            self._decision_points[node_id] = points
+        return points
 
     # ------------------------------------------------------------------
     # Schedulability thresholds

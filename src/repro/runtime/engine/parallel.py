@@ -15,10 +15,12 @@ The pool is *persistent*: it is created lazily on the first
 ``evaluate()`` and reused across ``evaluate()``/``compare()`` calls
 for the evaluator's lifetime (also reachable via ``with``), so
 comparing many plans pays the fork/attach cost once.  Each worker
-compiles a plan (``BatchSimulator`` tables) once per ``evaluate()``
-call and reuses it across that plan's fault counts.  Workers default
-to the batched engine but honour ``engine="reference"`` for
-differential measurements.
+compiles a plan once per ``evaluate()`` call — the segment-stepped
+``BatchSimulator`` core with its §2.2 decision tables and per-node
+segment indexes — and reuses it across that plan's fault counts
+(``tests/test_parallel_pool.py`` pins both the pool reuse and the
+per-plan compile count).  Workers default to the batched engine but
+honour ``engine="reference"`` for differential measurements.
 """
 
 from __future__ import annotations

@@ -3,41 +3,46 @@
 :class:`BatchSimulator` executes a compiled plan over a
 :class:`~repro.runtime.engine.batch.ScenarioBatch` by propagating
 *cohorts*: groups of scenarios that currently sit at the same tree
-node having executed the same process prefix.  Within a cohort,
-completion times are prefix sums over the duration arrays (faults on
-hard processes add their re-execution and recovery terms in closed
-form), arc conditions are evaluated as boolean masks, and matched
-scenarios split off into child cohorts.  Scenarios that finish in a
-cohort are finalized together: stale-value coefficients depend only on
-the cohort's executed set, and the utility sum is accumulated process
-by process in the oracle's completion order — the same IEEE-754
-operations in the same order, so results are bit-identical to
-:class:`~repro.runtime.online.OnlineScheduler`.
-
-Scenarios whose fault pattern touches a scheduled *soft* process need
-the online re-execute/drop decision (paper §2.2).  That decision is
-resolved against tables compiled per plan
+node having executed (and dropped) the same process prefix.  A cohort
+advances through its schedule **segment by segment**: between decision
+points — the positions where a scheduled *soft* process is faulted for
+some member (paper §2.2) — a whole run of positions is executed in one
+closed-form vectorized step (completion times are prefix sums over the
+duration arrays; faults on hard processes add their re-execution and
+recovery terms in closed form; arc conditions are evaluated as boolean
+masks per position, first match winning exactly like the oracle's
+most-fault-specific tie-break).  At a decision point the cohort steps
+through the single faulted entry, resolving the drop/re-execute
+decision against tables compiled per plan
 (:class:`~repro.runtime.engine.decisions.DecisionTables`): the S_iH
 schedulability probe collapses to one integer clock threshold per
 (node, position, attempt, remaining budget), and the keep-vs-drop
 utility comparison to a piecewise-constant boolean function of the
 clock — both exact, because the tables are evaluated with the same
 integer arithmetic and the same oracle float code the online scheduler
-runs.  Such scenarios take a position-stepped cohort path
-(:meth:`BatchSimulator._run_soft_cohorts`) that splits cohorts on the
-decision outcome (re-executed completers vs droppers) and on switch
-arcs.  The oracle fallback remains only for plans outside the state
-model — trees whose arcs revisit executed or dropped processes, or
-whose §2.2 probe the oracle itself would reject — so it is the
-reference implementation, never an approximation of it.  The
-vectorized share is exposed as :attr:`BatchResult.fast_path` and the
-residual oracle share as :attr:`BatchResult.n_fallback`.
+runs.  The decision splits the cohort into re-executed completers and
+droppers, and segment stepping resumes.
+
+No-soft-fault scenarios are simply the zero-decision-point special
+case: every node is one segment, so they run entirely in closed form.
+Scenarios that finish in a cohort are finalized together: stale-value
+coefficients depend only on the cohort's executed set, and the utility
+sum is accumulated process by process in the oracle's completion order
+— the same IEEE-754 operations in the same order, so results are
+bit-identical to :class:`~repro.runtime.online.OnlineScheduler`.
+
+The oracle fallback remains only for plans outside the state model —
+trees whose arcs revisit executed or dropped processes, or whose §2.2
+probe the oracle itself would reject — so it is the reference
+implementation, never an approximation of it.  The vectorized share is
+exposed as :attr:`BatchResult.fast_path` and the residual oracle share
+as :attr:`BatchResult.n_fallback`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Tuple, Union
 
 import numpy as np
 
@@ -87,25 +92,13 @@ class BatchResult:
 
 @dataclass
 class _Cohort:
-    """Scenarios at the same node with the same executed prefix."""
+    """Scenarios at the same node with the same executed/dropped prefix.
 
-    node_id: int
-    members: np.ndarray            # (M,) indices into the batch
-    clock: np.ndarray              # (M,) current time per member
-    observed: np.ndarray           # (M,) faults observed so far
-    prefix_ids: Tuple[int, ...]    # process ids executed before this node
-    prefix_completions: np.ndarray  # (M, len(prefix_ids))
-    chain: Tuple[int, ...]         # node ids switched through, in order
-
-
-@dataclass
-class _TableCohort:
-    """Cohort state of the table-driven (soft-fault) path.
-
-    Same invariant as :class:`_Cohort` — every member has executed and
-    dropped exactly the same processes in the same order — but tracked
-    position-by-position because §2.2 decisions can split the cohort
-    mid-node into completers and droppers.
+    Every member has completed exactly ``completed_ids`` in that order
+    and dropped exactly ``dropped_ids``; per-member state (clock,
+    observed faults, completion times) lives in parallel arrays.
+    ``position`` is the next schedule position to execute — nonzero
+    only for cohorts respawned mid-node by a §2.2 drop split.
     """
 
     node_id: int
@@ -158,19 +151,8 @@ class BatchSimulator:
             switch_chains=[()] * n,
             fast_path=np.zeros(n, dtype=bool),
         )
-        faults = batch.fault_counts
-        soft_scheduled = self.ctree.soft_scheduled_ids
-        if soft_scheduled.size:
-            needs_tables = (faults[:, soft_scheduled] > 0).any(axis=1)
-        else:
-            needs_tables = np.zeros(n, dtype=bool)
         result.fast_path[:] = True
-        eligible = np.flatnonzero(~needs_tables)
-        if eligible.size:
-            self._run_cohorts(batch, eligible, result)
-        tabled = np.flatnonzero(needs_tables)
-        if tabled.size:
-            self._run_soft_cohorts(batch, tabled, result)
+        self._run_cohorts(batch, np.arange(n, dtype=np.int64), result)
         for i in np.flatnonzero(~result.fast_path):
             self._run_oracle(batch, int(i), result)
         return result
@@ -189,174 +171,94 @@ class BatchSimulator:
         result.switch_chains[i] = outcome.switches
 
     # ------------------------------------------------------------------
-    # Vectorized cohort propagation
+    # Segment-stepped cohort propagation
     # ------------------------------------------------------------------
-    def _run_cohorts(
+    def _decision_schedule(
         self,
-        batch: ScenarioBatch,
-        eligible: np.ndarray,
-        result: BatchResult,
-    ) -> None:
-        width = batch.max_attempts
-        # cum_dur[s, p, a] = total time of attempts 0..a of process p;
-        # the closed form below adds recovery overheads separately.
-        cum_dur = batch.attempt_cumsum()
-        last_dur = batch.durations[:, :, width - 1]
-        faults = batch.fault_counts
-        mu = self.capp.mu
-        stack: List[_Cohort] = [
-            _Cohort(
-                node_id=self.ctree.root_id,
-                members=eligible,
-                clock=np.zeros(eligible.size, dtype=np.int64),
-                observed=np.zeros(eligible.size, dtype=np.int64),
-                prefix_ids=(),
-                prefix_completions=np.empty(
-                    (eligible.size, 0), dtype=np.int64
-                ),
-                chain=(),
+        node: CompiledNode,
+        position: int,
+        members: np.ndarray,
+        faults: np.ndarray,
+    ) -> List[int]:
+        """Positions at or after ``position`` needing a §2.2 step.
+
+        A decision point is a scheduled soft entry on which *some*
+        cohort member observes a fault; candidates come from the
+        compiled decision-point index, so hard entries (always
+        re-executed in closed form) never break a segment.  Computed
+        once per cohort visit from the arriving member set — a later
+        drop/switch split only shrinks the set, so the schedule stays
+        a (conservative) superset and a position whose faulty members
+        all left degenerates to a cheap fault-free step.
+        """
+        points = self._tables.decision_points(node.node_id)
+        tail = points[np.searchsorted(points, position):]
+        if not tail.size:
+            return []
+        faulted = (
+            faults[np.ix_(members, node.entry_ids[tail])] > 0
+        ).any(axis=0)
+        return [int(p) for p in tail[faulted]]
+
+    @staticmethod
+    def _match_arcs(
+        arcs: Tuple,
+        at_completion: np.ndarray,
+        at_observed: np.ndarray,
+        switched: np.ndarray,
+        switch_target: np.ndarray,
+    ) -> np.ndarray:
+        """First matching arc per still-unswitched member at one position.
+
+        Arcs are pre-sorted by ``(-required_faults, target)``, so the
+        first hit per member reproduces the oracle's most-fault-
+        specific tie-break.  Mutates ``switched``/``switch_target`` in
+        place and returns the mask of members newly switched here.
+        """
+        undecided = ~switched
+        newly = np.zeros(switched.size, dtype=bool)
+        for lo, hi, required, target in arcs:
+            hit = (
+                undecided
+                & (at_completion >= lo)
+                & (at_completion <= hi)
+                & (at_observed >= required)
             )
-        ]
-        while stack:
-            cohort = stack.pop()
-            node = self.ctree.nodes[cohort.node_id]
-            # Defensive bail-outs: a malformed tree whose arcs revisit
-            # ancestors, or a child re-executing a completed process,
-            # is outside the fast path's state model — the oracle
-            # handles those scenarios with full generality.
-            if len(cohort.chain) > len(self.ctree.nodes) or (
-                node.entry_set & set(cohort.prefix_ids)
-            ):
-                result.fast_path[cohort.members] = False
-                continue
-            n_members = cohort.members.size
-            length = node.n_entries
-            if length == 0:
-                self._finalize(
-                    cohort,
-                    node,
-                    np.arange(n_members),
-                    np.empty((n_members, 0), dtype=np.int64),
-                    cohort.observed,
-                    result,
-                )
-                continue
-            ids = node.entry_ids
-            entry_faults = faults[np.ix_(cohort.members, ids)]
-            # Execution time of one entry including its re-executions:
-            # attempts 0..F plus F recovery overheads (hard processes
-            # always re-execute until the fault pattern is exhausted).
-            clamped = np.minimum(entry_faults, width - 1)
-            spent = np.take_along_axis(
-                cum_dur[np.ix_(cohort.members, ids)],
-                clamped[:, :, None],
-                axis=2,
-            )[:, :, 0]
-            spent += (entry_faults - clamped) * last_dur[
-                np.ix_(cohort.members, ids)
-            ]
-            spent += entry_faults * mu[ids][None, :]
-            completions = cohort.clock[:, None] + np.cumsum(spent, axis=1)
-            observed = cohort.observed[:, None] + np.cumsum(
-                entry_faults, axis=1
-            )
+            if hit.any():
+                switch_target[hit] = target
+                switched |= hit
+                newly |= hit
+                undecided &= ~hit
+        return newly
 
-            switched = np.zeros(n_members, dtype=bool)
-            switch_pos = np.full(n_members, -1, dtype=np.int64)
-            switch_target = np.full(n_members, -1, dtype=np.int64)
-            for position, arcs in enumerate(node.arcs_at):
-                if not arcs:
-                    continue
-                undecided = ~switched
-                if not undecided.any():
-                    break
-                at_completion = completions[:, position]
-                at_observed = observed[:, position]
-                # Arcs are pre-sorted by (-required_faults, target):
-                # the first hit per scenario reproduces the oracle's
-                # most-fault-specific tie-break.
-                for lo, hi, required, target in arcs:
-                    hit = (
-                        undecided
-                        & (at_completion >= lo)
-                        & (at_completion <= hi)
-                        & (at_observed >= required)
-                    )
-                    if hit.any():
-                        switch_pos[hit] = position
-                        switch_target[hit] = target
-                        switched |= hit
-                        undecided &= ~hit
-
-            finishers = np.flatnonzero(~switched)
-            if finishers.size:
-                self._finalize(
-                    cohort,
-                    node,
-                    finishers,
-                    completions[finishers],
-                    observed[finishers, -1],
-                    result,
-                )
-            if not switched.any():
-                continue
-            for position, target in {
-                (int(p), int(t))
-                for p, t in zip(switch_pos[switched], switch_target[switched])
-            }:
-                selected = np.flatnonzero(
-                    switched
-                    & (switch_pos == position)
-                    & (switch_target == target)
-                )
-                stack.append(
-                    _Cohort(
-                        node_id=target,
-                        members=cohort.members[selected],
-                        clock=completions[selected, position],
-                        observed=observed[selected, position],
-                        prefix_ids=cohort.prefix_ids
-                        + tuple(int(i) for i in ids[: position + 1]),
-                        prefix_completions=np.hstack(
-                            [
-                                cohort.prefix_completions[selected],
-                                completions[selected, : position + 1],
-                            ]
-                        ),
-                        chain=cohort.chain + (target,),
-                    )
-                )
-
-    # ------------------------------------------------------------------
-    # Table-driven propagation for soft-faulted scenarios
-    # ------------------------------------------------------------------
-    def _run_soft_cohorts(
+    def _run_cohorts(
         self,
         batch: ScenarioBatch,
         indices: np.ndarray,
         result: BatchResult,
     ) -> None:
-        """Position-stepped cohort propagation with §2.2 decisions.
+        """Segment-stepped cohort propagation with §2.2 decisions.
 
-        Like :meth:`_run_cohorts`, but entries are advanced one
-        position at a time so that a faulted soft entry can split the
-        cohort into re-executed completers and droppers, resolved
-        against the compiled :class:`DecisionTables` instead of the
-        oracle.  The oracle keeps only the cases its own §2.2 probe
-        would reject (see :meth:`DecisionTables.probe_would_raise`) and
-        the malformed-tree bail-outs of the closed-form path.
+        Each cohort advances through maximal decision-free position
+        runs in one closed-form step (prefix-sum completions, masked
+        arc matching per position) and stops only at decision points,
+        where the faulted soft entry is stepped attempt by attempt
+        against the compiled :class:`DecisionTables`, splitting the
+        cohort into re-executed completers and droppers.  The oracle
+        keeps only the cases its own §2.2 probe would reject (see
+        :meth:`DecisionTables.probe_would_raise`) and malformed trees
+        whose arcs revisit executed or dropped processes.
         """
         width = batch.max_attempts
         cum_dur = batch.attempt_cumsum()
         last_dur = batch.durations[:, :, width - 1]
         faults = batch.fault_counts
         capp = self.capp
-        mu = capp.mu
         k = capp.app.k
         tables = self._tables
         n_nodes = len(self.ctree.nodes)
-        stack: List[_TableCohort] = [
-            _TableCohort(
+        stack: List[_Cohort] = [
+            _Cohort(
                 node_id=self.ctree.root_id,
                 position=0,
                 members=indices,
@@ -371,10 +273,12 @@ class BatchSimulator:
         while stack:
             cohort = stack.pop()
             node = self.ctree.nodes[cohort.node_id]
-            # Same defensive bail-outs as the closed-form path, plus
-            # re-scheduling of a *dropped* process: the oracle would
-            # run it again (and its §2.2 probe would reject it on the
-            # next fault), so such trees stay on the reference path.
+            # Defensive bail-outs: a malformed tree whose arcs revisit
+            # ancestors, a child re-executing a completed process, or a
+            # child re-scheduling a *dropped* process (the oracle would
+            # run it again, and its §2.2 probe would reject it on the
+            # next fault) is outside the fast path's state model — the
+            # oracle handles those scenarios with full generality.
             if cohort.position == 0 and (
                 len(cohort.chain) > n_nodes
                 or (node.entry_set & set(cohort.completed_ids))
@@ -391,117 +295,215 @@ class BatchSimulator:
             chain = cohort.chain
             position = cohort.position
             node_id = cohort.node_id
-            while position < node.n_entries and members.size:
-                pid = int(node.entry_ids[position])
+            ids = node.entry_ids
+            length = node.n_entries
+            decisions = self._decision_schedule(
+                node, position, members, faults
+            )
+            next_decision = 0  # index into ``decisions``
+            while position < length and members.size:
+                if next_decision < len(decisions):
+                    decision = decisions[next_decision]
+                    next_decision += 1
+                else:
+                    decision = length
+                if decision > position:
+                    # ---- Closed-form segment [position, decision) ----
+                    seg_ids = ids[position:decision]
+                    entry_faults = faults[np.ix_(members, seg_ids)]
+                    # Execution time of one entry including its
+                    # re-executions: attempts 0..F plus F recovery
+                    # overheads (hard processes always re-execute until
+                    # the fault pattern is exhausted; soft entries of a
+                    # segment are fault-free by construction).
+                    clamped = np.minimum(entry_faults, width - 1)
+                    spent = np.take_along_axis(
+                        cum_dur[np.ix_(members, seg_ids)],
+                        clamped[:, :, None],
+                        axis=2,
+                    )[:, :, 0]
+                    spent += (entry_faults - clamped) * last_dur[
+                        np.ix_(members, seg_ids)
+                    ]
+                    spent += (
+                        entry_faults * node.entry_mu[position:decision][None, :]
+                    )
+                    completions = clock[:, None] + np.cumsum(spent, axis=1)
+                    seg_observed = observed[:, None] + np.cumsum(
+                        entry_faults, axis=1
+                    )
+
+                    n_members = members.size
+                    switched = np.zeros(n_members, dtype=bool)
+                    switch_pos = np.full(n_members, -1, dtype=np.int64)
+                    switch_target = np.full(n_members, -1, dtype=np.int64)
+                    lo_a, hi_a = np.searchsorted(
+                        node.arc_positions, [position, decision]
+                    )
+                    for p in node.arc_positions[lo_a:hi_a]:
+                        if switched.all():
+                            break
+                        offset = int(p) - position
+                        newly = self._match_arcs(
+                            node.arcs_at[p],
+                            completions[:, offset],
+                            seg_observed[:, offset],
+                            switched,
+                            switch_target,
+                        )
+                        switch_pos[newly] = p
+                    if switched.any():
+                        for p, target in {
+                            (int(a), int(b))
+                            for a, b in zip(
+                                switch_pos[switched], switch_target[switched]
+                            )
+                        }:
+                            selected = np.flatnonzero(
+                                switched
+                                & (switch_pos == p)
+                                & (switch_target == target)
+                            )
+                            offset = p - position
+                            stack.append(
+                                _Cohort(
+                                    node_id=target,
+                                    position=0,
+                                    members=members[selected],
+                                    clock=completions[selected, offset],
+                                    observed=seg_observed[selected, offset],
+                                    completed_ids=completed_ids
+                                    + tuple(
+                                        int(i) for i in seg_ids[: offset + 1]
+                                    ),
+                                    completed_times=np.hstack(
+                                        [
+                                            completed_times[selected],
+                                            completions[
+                                                selected, : offset + 1
+                                            ],
+                                        ]
+                                    ),
+                                    dropped_ids=dropped_ids,
+                                    chain=chain + (target,),
+                                )
+                            )
+                        stay = np.flatnonzero(~switched)
+                        members = members[stay]
+                        clock = completions[stay, -1]
+                        observed = seg_observed[stay, -1]
+                        completed_times = np.hstack(
+                            [completed_times[stay], completions[stay]]
+                        )
+                    else:
+                        clock = completions[:, -1]
+                        observed = seg_observed[:, -1]
+                        completed_times = np.hstack(
+                            [completed_times, completions]
+                        )
+                    completed_ids = completed_ids + tuple(
+                        int(i) for i in seg_ids
+                    )
+                    position = decision
+                    if position >= length or not members.size:
+                        break
+
+                # ---- §2.2 decision step at ``position`` ----
+                pid = int(ids[position])
                 f = faults[members, pid]
                 pid_cum = cum_dur[members, pid, :]
                 pid_last = last_dur[members, pid]
-                entry_mu = int(mu[pid])
+                entry_mu = int(node.entry_mu[position])
                 n_members = members.size
                 rows = np.arange(n_members)
                 # Time of a full run: attempts 0..F plus F recoveries
-                # (identical to the closed form of ``_run_cohorts``).
+                # (identical to the segment closed form above).
                 clamped = np.minimum(f, width - 1)
                 spent = (
                     pid_cum[rows, clamped]
                     + (f - clamped) * pid_last
                     + f * entry_mu
                 )
-                if capp.is_hard[pid] or not (f > 0).any():
-                    completer = rows
-                    comp_completion = clock + spent
-                    comp_observed = observed + f
-                    dropper = np.empty(0, dtype=np.int64)
-                    drop_clock = np.empty(0, dtype=np.int64)
-                    drop_obs = np.empty(0, dtype=np.int64)
-                else:
-                    reexec_cap = int(node.entry_caps[position])
-                    retrying = f > 0
-                    will_complete = ~retrying
-                    dropped_mask = np.zeros(n_members, dtype=bool)
-                    drop_at_clock = np.zeros(n_members, dtype=np.int64)
-                    drop_at_obs = np.zeros(n_members, dtype=np.int64)
-                    completed_set = frozenset(completed_ids)
-                    if reexec_cap > 0 and tables.probe_would_raise(
-                        node_id, position, completed_set
-                    ):
-                        routed = np.flatnonzero(retrying)
-                        result.fast_path[members[routed]] = False
-                        retrying[:] = False
-                    hard_missing = reexec_cap > 0 and tables.missing_hard(
-                        node_id, position, completed_set
+                reexec_cap = int(node.entry_caps[position])
+                retrying = f > 0
+                will_complete = ~retrying
+                dropped_mask = np.zeros(n_members, dtype=bool)
+                drop_at_clock = np.zeros(n_members, dtype=np.int64)
+                drop_at_obs = np.zeros(n_members, dtype=np.int64)
+                completed_set = frozenset(completed_ids)
+                if reexec_cap > 0 and tables.probe_would_raise(
+                    node_id, position, completed_set
+                ):
+                    routed = np.flatnonzero(retrying)
+                    result.fast_path[members[routed]] = False
+                    retrying[:] = False
+                hard_missing = reexec_cap > 0 and tables.missing_hard(
+                    node_id, position, completed_set
+                )
+                benefit = None
+                for a in range(int(f.max())):
+                    finished = retrying & (f == a)
+                    if finished.any():
+                        will_complete |= finished
+                        retrying &= ~finished
+                    deciders = np.flatnonzero(retrying)
+                    if deciders.size == 0:
+                        break
+                    # Fault of attempt ``a`` lands after attempts
+                    # 0..a and ``a`` recovery overheads.
+                    ca = min(a, width - 1)
+                    clock_a = (
+                        clock[deciders]
+                        + pid_cum[deciders, ca]
+                        + (a - ca) * pid_last[deciders]
+                        + a * entry_mu
                     )
-                    benefit = None
-                    for a in range(int(f.max())):
-                        finished = retrying & (f == a)
-                        if finished.any():
-                            will_complete |= finished
-                            retrying &= ~finished
-                        deciders = np.flatnonzero(retrying)
-                        if deciders.size == 0:
-                            break
-                        # Fault of attempt ``a`` lands after attempts
-                        # 0..a and ``a`` recovery overheads.
-                        ca = min(a, width - 1)
-                        clock_a = (
-                            clock[deciders]
-                            + pid_cum[deciders, ca]
-                            + (a - ca) * pid_last[deciders]
-                            + a * entry_mu
+                    obs_a = observed[deciders] + (a + 1)
+                    if a >= reexec_cap or hard_missing:
+                        keep = np.zeros(deciders.size, dtype=bool)
+                    else:
+                        budget = np.maximum(k - obs_a, 0)
+                        thresholds = tables.sched_thresholds(
+                            node_id, position, a
                         )
-                        obs_a = observed[deciders] + (a + 1)
-                        if a >= reexec_cap or hard_missing:
-                            keep = np.zeros(deciders.size, dtype=bool)
-                        else:
-                            budget = np.maximum(k - obs_a, 0)
-                            thresholds = tables.sched_thresholds(
-                                node_id, position, a
-                            )
-                            keep = clock_a <= thresholds[budget]
-                            kept = np.flatnonzero(keep)
-                            if kept.size:
-                                if benefit is None:
-                                    benefit = tables.benefit(
-                                        node_id, position, dropped_ids
-                                    )
-                                keep[kept] = benefit.lookup(clock_a[kept])
-                        dropping = deciders[~keep]
-                        if dropping.size:
-                            dropped_mask[dropping] = True
-                            drop_at_clock[dropping] = clock_a[~keep]
-                            drop_at_obs[dropping] = obs_a[~keep]
-                            retrying[dropping] = False
-                    will_complete |= retrying
-                    completer = np.flatnonzero(will_complete)
-                    comp_completion = clock[completer] + spent[completer]
-                    comp_observed = observed[completer] + f[completer]
-                    dropper = np.flatnonzero(dropped_mask)
-                    drop_clock = drop_at_clock[dropper]
-                    drop_obs = drop_at_obs[dropper]
+                        keep = clock_a <= thresholds[budget]
+                        kept = np.flatnonzero(keep)
+                        if kept.size:
+                            if benefit is None:
+                                benefit = tables.benefit(
+                                    node_id, position, dropped_ids
+                                )
+                            keep[kept] = benefit.lookup(clock_a[kept])
+                    dropping = deciders[~keep]
+                    if dropping.size:
+                        dropped_mask[dropping] = True
+                        drop_at_clock[dropping] = clock_a[~keep]
+                        drop_at_obs[dropping] = obs_a[~keep]
+                        retrying[dropping] = False
+                will_complete |= retrying
+                completer = np.flatnonzero(will_complete)
+                comp_completion = clock[completer] + spent[completer]
+                comp_observed = observed[completer] + f[completer]
+                dropper = np.flatnonzero(dropped_mask)
 
-                arcs = node.arcs_at[position]
                 switched = np.zeros(completer.size, dtype=bool)
                 switch_target = np.full(completer.size, -1, dtype=np.int64)
+                arcs = node.arcs_at[position]
                 if arcs and completer.size:
-                    undecided = ~switched
-                    for lo, hi, required, target in arcs:
-                        hit = (
-                            undecided
-                            & (comp_completion >= lo)
-                            & (comp_completion <= hi)
-                            & (comp_observed >= required)
-                        )
-                        if hit.any():
-                            switch_target[hit] = target
-                            switched |= hit
-                            undecided &= ~hit
+                    self._match_arcs(
+                        arcs,
+                        comp_completion,
+                        comp_observed,
+                        switched,
+                        switch_target,
+                    )
 
                 new_completed_ids = completed_ids + (pid,)
                 for target in {int(t) for t in switch_target[switched]}:
                     sel = np.flatnonzero(switched & (switch_target == target))
                     local = completer[sel]
                     stack.append(
-                        _TableCohort(
+                        _Cohort(
                             node_id=target,
                             position=0,
                             members=members[local],
@@ -520,12 +522,12 @@ class BatchSimulator:
                     )
                 if dropper.size:
                     stack.append(
-                        _TableCohort(
+                        _Cohort(
                             node_id=node_id,
                             position=position + 1,
                             members=members[dropper],
-                            clock=drop_clock,
-                            observed=drop_obs,
+                            clock=drop_at_clock[dropper],
+                            observed=drop_at_obs[dropper],
                             completed_ids=completed_ids,
                             completed_times=completed_times[dropper],
                             dropped_ids=dropped_ids | {pid},
@@ -567,25 +569,6 @@ class BatchSimulator:
             cached = stale_coefficients(self.app.graph, dropped)
             self._alphas_cache[executed] = cached
         return cached
-
-    def _finalize(
-        self,
-        cohort: _Cohort,
-        node: CompiledNode,
-        local: np.ndarray,
-        node_completions: np.ndarray,
-        observed_final: np.ndarray,
-        result: BatchResult,
-    ) -> None:
-        """Finalize the cohort members at ``local`` (cohort-relative)."""
-        self._finalize_members(
-            cohort.members[local],
-            cohort.prefix_ids + tuple(int(i) for i in node.entry_ids),
-            np.hstack([cohort.prefix_completions[local], node_completions]),
-            observed_final,
-            cohort.chain,
-            result,
-        )
 
     def _finalize_members(
         self,

@@ -1,6 +1,5 @@
 """CLI smoke tests via the main() entry point."""
 
-import json
 
 import pytest
 

@@ -258,6 +258,209 @@ def test_parallel_reference_engine_matches_too(fig1_app):
     assert sharded[0].utilities == serial[0].utilities
 
 
+@engine_smoke
+def test_decision_point_dense_corpus(engine_full):
+    """Every scheduled position a decision point: still zero fallback.
+
+    All-soft applications make every scheduled entry a candidate
+    decision point; crafting one fault on *every* scheduled process
+    turns all of them into actual decision points, so the fused core
+    degenerates to pure position stepping (zero-length segments).
+    Results must stay bit-identical with no scenario leaving the
+    vectorized path.  Sampled fault patterns (which on an all-soft
+    application always land on soft processes) ride along for breadth.
+    """
+    from repro.faults.injection import average_case_scenario
+    from repro.faults.model import FaultScenario
+
+    specs = [
+        ("all-soft-8", WorkloadSpec(n_processes=8, soft_ratio=1.0, k=3), 7),
+        ("all-soft-12", WorkloadSpec(n_processes=12, soft_ratio=1.0, k=2), 19),
+    ]
+    if engine_full:
+        specs.append(
+            (
+                "all-soft-16",
+                WorkloadSpec(n_processes=16, soft_ratio=1.0, k=3),
+                11,
+            )
+        )
+    n_scenarios = 60 if engine_full else 15
+    checked = 0
+    for label, spec, seed in specs:
+        app = generate_application(spec, seed=seed)
+        assert not app.hard, f"{label}: expected an all-soft application"
+        root = ftss(app)
+        assert root is not None, f"{label}: unschedulable corpus app"
+        plans = [
+            ("ftss", root),
+            ("ftqs-6", ftqs(app, root, FTQSConfig(max_schedules=6))),
+        ]
+        evaluator = MonteCarloEvaluator(
+            app,
+            n_scenarios=n_scenarios,
+            fault_counts=list(range(1, app.k + 1)),
+            seed=53,
+        )
+        for plan_label, plan in plans:
+            # The dense slice proper: one fault on every scheduled
+            # process, so *every* position needs a §2.2 decision.
+            scheduled = [e.name for e in root.entries]
+            dense = average_case_scenario(
+                app, FaultScenario.of({name: 1 for name in scheduled})
+            )
+            result = _assert_identical(app, plan, [dense])
+            assert result.n_fallback == 0, (
+                f"{label}/{plan_label}: the all-decision-point scenario "
+                "left the vectorized path"
+            )
+            for faults, scenarios in evaluator.scenarios.items():
+                result = _assert_identical(app, plan, scenarios)
+                assert result.n_fallback == 0, (
+                    f"{label}/{plan_label}/f={faults}: "
+                    f"{result.n_fallback} scenarios left the fused path"
+                )
+                checked += 1
+    assert checked > 0
+
+
+def _hard_pred_app():
+    """A (soft) ∥ H (hard) → S (soft), for hand-built malformed trees."""
+    from repro.model.application import Application
+    from repro.model.graph import ProcessGraph
+    from repro.model.process import hard_process, soft_process
+    from repro.utility.functions import StepUtility
+
+    a = soft_process(
+        "A", bcet=20, wcet=40, utility=StepUtility(30, [(150, 10)]), aet=30
+    )
+    h = hard_process("H", bcet=20, wcet=40, deadline=200, aet=30)
+    s = soft_process(
+        "S", bcet=20, wcet=40, utility=StepUtility(40, [(200, 20)]), aet=30
+    )
+    graph = ProcessGraph(
+        [a, h, s], [("H", "S")], name="hard-pred", period=300
+    )
+    return Application(graph, period=300, k=1, mu=10)
+
+
+def test_malformed_tree_counts_fallback():
+    """Arcs revisiting an executed process stay on (and count) the oracle.
+
+    A child schedule that re-runs an already-completed process is
+    outside the fused core's state model; such scenarios must be
+    routed to the reference loop — with identical results — and be
+    visible in ``BatchResult.n_fallback``.
+    """
+    from repro.faults.injection import average_case_scenario
+    from repro.faults.model import FaultScenario
+    from repro.quasistatic.tree import QSTree, SwitchArc
+    from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+
+    app = _hard_pred_app()
+    root = FSchedule(
+        app,
+        [
+            ScheduledEntry("A", 1),
+            ScheduledEntry("H", 1),
+            ScheduledEntry("S", 1),
+        ],
+        fault_budget=1,
+    )
+    # The child re-executes A, which completed under the parent.
+    child = FSchedule(
+        app,
+        [ScheduledEntry("A", 1), ScheduledEntry("H", 1)],
+        fault_budget=1,
+    )
+    tree = QSTree(root)
+    node = tree.add_child(tree.root_id, child, "A", 0, layer=1)
+    tree.add_arc(
+        tree.root_id,
+        SwitchArc(
+            process="A", lo=0, hi=10**9, required_faults=0, target=node.node_id
+        ),
+    )
+    scenarios = [
+        average_case_scenario(app, FaultScenario.none()),
+        average_case_scenario(app, FaultScenario.of({"H": 1})),
+    ]
+    result = _assert_identical(app, tree, scenarios)
+    assert result.n_fallback == len(scenarios), (
+        "every scenario switches into the malformed child and must be "
+        f"counted as fallback, got {result.n_fallback}"
+    )
+
+
+def test_probe_raise_routes_to_oracle_and_counts_fallback():
+    """§2.2 probes the oracle would reject leave the fused path.
+
+    The child schedule claims H completed before it starts, but its
+    arc fires after A only — so when S faults, the oracle's probe
+    constructor raises (hard predecessor missing from both the
+    completed set and the probe).  The fused core must route exactly
+    the faulted scenarios to the oracle (counted in the fast-path
+    mask) and ``run_batch`` must then reproduce the oracle's raise.
+    """
+    from repro.errors import SchedulingError
+    from repro.faults.injection import average_case_scenario
+    from repro.faults.model import FaultScenario
+    from repro.quasistatic.tree import QSTree, SwitchArc
+    from repro.runtime.engine.simulator import BatchResult
+    from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+
+    app = _hard_pred_app()
+    root = FSchedule(
+        app,
+        [
+            ScheduledEntry("A", 1),
+            ScheduledEntry("H", 1),
+            ScheduledEntry("S", 1),
+        ],
+        fault_budget=1,
+    )
+    child = FSchedule(
+        app,
+        [ScheduledEntry("S", 1)],
+        fault_budget=1,
+        prior_completed=frozenset({"A", "H"}),
+    )
+    tree = QSTree(root)
+    node = tree.add_child(tree.root_id, child, "A", 0, layer=1)
+    tree.add_arc(
+        tree.root_id,
+        SwitchArc(
+            process="A", lo=0, hi=10**9, required_faults=0, target=node.node_id
+        ),
+    )
+    clean = average_case_scenario(app, FaultScenario.none())
+    faulted = average_case_scenario(app, FaultScenario.of({"S": 1}))
+    batch = ScenarioBatch.from_scenarios(app, [clean, faulted])
+    simulator = BatchSimulator(app, tree)
+
+    # Accounting: only the faulted scenario needs the §2.2 probe, so
+    # only it may leave the fused path (checked on the cohort pass
+    # alone — replaying it on the oracle reproduces the raise below).
+    result = BatchResult(
+        utilities=np.zeros(2, dtype=np.float64),
+        deadline_miss=np.zeros(2, dtype=bool),
+        switch_counts=np.zeros(2, dtype=np.int64),
+        faults_observed=np.zeros(2, dtype=np.int64),
+        switch_chains=[()] * 2,
+        fast_path=np.ones(2, dtype=bool),
+    )
+    simulator._run_cohorts(batch, np.arange(2, dtype=np.int64), result)
+    assert result.fast_path[0]
+    assert not result.fast_path[1]
+    assert result.n_fallback == 1
+
+    # Behaviour: the batched engine reproduces the oracle's exception.
+    with pytest.raises(SchedulingError):
+        OnlineScheduler(app, tree, record_events=False).run(faulted)
+    with pytest.raises(SchedulingError):
+        simulator.run_batch(batch)
+
+
 def test_batch_rejects_mismatched_process_columns(fig1_app, fig8_app):
     """A batch packed for one application cannot run another's plan."""
     from repro.errors import RuntimeModelError

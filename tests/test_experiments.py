@@ -17,7 +17,6 @@ from repro.evaluation.experiments.cc import CCConfig, run_cc
 from repro.evaluation.experiments.fig9 import (
     Fig9Config,
     fig9a_rows,
-    fig9b_rows,
     format_fig9,
     run_fig9,
 )

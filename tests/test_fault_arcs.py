@@ -8,8 +8,6 @@ that many faults were actually observed.
 
 import pytest
 
-from repro.faults.injection import scenario_with_times
-from repro.faults.model import FaultScenario
 from repro.quasistatic.ftqs import FTQSConfig, ftqs
 from repro.runtime.online import simulate
 from repro.scheduling.ftss import ftss

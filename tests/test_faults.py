@@ -1,10 +1,8 @@
 """Unit tests for the fault model, scenario enumeration and injection."""
 
-import math
 
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
 
 from repro.errors import ModelError, RuntimeModelError
 from repro.faults.injection import (

@@ -3,7 +3,7 @@ reference FSchedule-based probes."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.scheduling.feasibility import FeasibilityOracle, TopNeeds
 from repro.scheduling.fschedule import ScheduledEntry, shared_recovery_demand

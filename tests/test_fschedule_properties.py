@@ -1,6 +1,5 @@
 """Hypothesis property tests for the f-schedule timing analysis."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.quasistatic.intervals import rebased

@@ -1,6 +1,5 @@
 """Tests for the FTSF baseline and the non-FT value scheduler."""
 
-import pytest
 
 from repro.faults.injection import worst_case_scenario
 from repro.faults.model import FaultScenario

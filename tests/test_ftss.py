@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults.injection import ScenarioSampler, worst_case_scenario
+from repro.faults.injection import worst_case_scenario
 from repro.faults.model import FaultScenario
 from repro.model.application import Application
 from repro.model.graph import ProcessGraph

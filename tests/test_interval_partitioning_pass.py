@@ -6,10 +6,8 @@ deserialized trees and must reconstruct conditions equivalent to the
 integrated construction.
 """
 
-import pytest
 
 from repro.quasistatic.ftqs import (
-    DEFAULT_FTQS_CONFIG,
     FTQSConfig,
     ftqs,
     interval_partitioning,

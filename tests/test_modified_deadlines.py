@@ -1,6 +1,5 @@
 """Tests for the Blazewicz modified-deadline computation."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.model.application import Application

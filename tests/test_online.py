@@ -7,7 +7,6 @@ from repro.errors import RuntimeModelError
 from repro.faults.injection import (
     ScenarioSampler,
     average_case_scenario,
-    best_case_scenario,
     scenario_with_times,
     worst_case_scenario,
 )

@@ -14,7 +14,7 @@ from repro.model.process import hard_process, soft_process
 from repro.quasistatic.ftqs import FTQSConfig, ftqs
 from repro.runtime.online import OnlineScheduler, simulate
 from repro.runtime.trace import EventKind
-from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+from repro.scheduling.fschedule import FSchedule
 from repro.scheduling.ftss import ftss
 from repro.utility.functions import ConstantUtility, StepUtility
 

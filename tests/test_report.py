@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.report import SynthesisReport, synthesis_report
+from repro.analysis.report import synthesis_report
 from repro.errors import UnschedulableError
 
 

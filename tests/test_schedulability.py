@@ -1,7 +1,6 @@
 """Tests for the S_iH schedulability probes (slow path) and the EDF
 hard-tail ordering."""
 
-import pytest
 
 from repro.scheduling.fschedule import ScheduledEntry
 from repro.scheduling.schedulability import (

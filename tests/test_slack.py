@@ -1,6 +1,5 @@
 """Tests for the slack-analysis utilities."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.scheduling.ftss import ftss

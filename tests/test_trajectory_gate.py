@@ -1,0 +1,157 @@
+"""Tests for the bench-trajectory regression gate.
+
+``benchmarks/check_trajectory.py`` is the CI gate that parses the
+``BENCH_*.json`` trajectory artifacts and fails when a floor-asserted
+metric of the latest entry regressed more than the threshold against
+the best prior entry.  It must be runnable standalone (``python
+benchmarks/check_trajectory.py BENCH_engine.json``), so these tests
+load it from its file path rather than importing a package.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_trajectory.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_trajectory", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _entry(**speedups):
+    return {
+        "timestamp": "2026-07-30T00:00:00",
+        "cpu_count": 4,
+        "axes": [
+            {"label": label, "n_scenarios": 1000, "speedup": value}
+            for label, value in speedups.items()
+        ],
+    }
+
+
+def _write(tmp_path, name, entries):
+    path = tmp_path / name
+    path.write_text(json.dumps(entries))
+    return path
+
+
+def test_gate_passes_within_threshold(gate, tmp_path, capsys):
+    path = _write(
+        tmp_path,
+        "BENCH_engine.json",
+        [_entry(**{"cc/f=0": 10.0}), _entry(**{"cc/f=0": 8.5})],
+    )
+    assert gate.main([str(path)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_gate_fails_on_regression(gate, tmp_path, capsys):
+    path = _write(
+        tmp_path,
+        "BENCH_engine.json",
+        [_entry(**{"cc/f=0": 10.0}), _entry(**{"cc/f=0": 7.9})],
+    )
+    assert gate.main([str(path)]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_gate_default_median_baseline_is_outlier_robust(gate, tmp_path):
+    """One lucky-fast entry must not ratchet the floor permanently."""
+    entries = [
+        _entry(**{"cc/f=0": 13.0}),  # outlier run, several entries back
+        _entry(**{"cc/f=0": 9.0}),
+        _entry(**{"cc/f=0": 9.2}),
+        _entry(**{"cc/f=0": 8.8}),  # fine vs the median, >20% below best
+    ]
+    path = _write(tmp_path, "BENCH_engine.json", entries)
+    assert gate.main([str(path)]) == 0
+    # The strict all-time-best mode still flags it.
+    assert gate.main([str(path), "--baseline", "best"]) == 1
+
+
+def test_gate_median_window_limits_the_history(gate, tmp_path):
+    """Only the last --window prior entries feed the median."""
+    old = [_entry(**{"cc/f=0": 20.0})] * 9  # ancient, much faster
+    recent = [_entry(**{"cc/f=0": 9.0})] * 8
+    path = _write(
+        tmp_path,
+        "BENCH_engine.json",
+        old + recent + [_entry(**{"cc/f=0": 8.5})],
+    )
+    assert gate.main([str(path), "--window", "8"]) == 0
+    assert gate.main([str(path), "--window", "100"]) == 1
+
+
+def test_gate_fails_against_a_genuine_regression_trend(gate, tmp_path):
+    """A real regression fails in both baseline modes."""
+    entries = [_entry(**{"cc/f=0": 10.0})] * 4 + [_entry(**{"cc/f=0": 7.0})]
+    path = _write(tmp_path, "BENCH_engine.json", entries)
+    assert gate.main([str(path)]) == 1
+    assert gate.main([str(path), "--baseline", "best"]) == 1
+    assert gate.main([str(path), "--threshold", "0.35"]) == 0
+
+
+def test_gate_ignores_job_comparison_axes(gate, tmp_path):
+    """CPU-dependent job-count axes carry no floor across machines."""
+    entries = [
+        _entry(**{"cc/compare-jobs": 3.0, "table1/jobs4-vs-jobs1": 2.0}),
+        _entry(**{"cc/compare-jobs": 0.4, "table1/jobs4-vs-jobs1": 0.5}),
+    ]
+    path = _write(tmp_path, "BENCH_engine.json", entries)
+    assert gate.main([str(path)]) == 0
+
+
+def test_gate_handles_short_and_new_axes(gate, tmp_path, capsys):
+    single = _write(tmp_path, "single.json", [_entry(**{"cc/f=0": 10.0})])
+    assert gate.main([str(single)]) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+    fresh_axis = _write(
+        tmp_path,
+        "fresh.json",
+        [_entry(**{"cc/f=0": 10.0}), _entry(**{"cc/f=0": 9.9, "new/axis": 1.0})],
+    )
+    assert gate.main([str(fresh_axis)]) == 0
+    assert "no prior baseline" in capsys.readouterr().out
+
+
+def test_gate_fails_closed_on_missing_and_rejects_malformed(
+    gate, tmp_path, capsys
+):
+    assert gate.main([str(tmp_path / "absent.json")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit) as excinfo:
+        gate.main([str(bad)])
+    assert excinfo.value.code == 2
+    shaped_wrong = tmp_path / "shape.json"
+    shaped_wrong.write_text(json.dumps({"axes": []}))
+    with pytest.raises(SystemExit) as excinfo:
+        gate.main([str(shaped_wrong)])
+    assert excinfo.value.code == 2
+
+
+def test_gate_checks_multiple_files(gate, tmp_path):
+    ok = _write(
+        tmp_path,
+        "BENCH_a.json",
+        [_entry(**{"x": 5.0}), _entry(**{"x": 5.0})],
+    )
+    regressed = _write(
+        tmp_path,
+        "BENCH_b.json",
+        [_entry(**{"y": 5.0}), _entry(**{"y": 1.0})],
+    )
+    assert gate.main([str(ok), str(regressed)]) == 1
+    assert gate.main([str(ok)]) == 0

@@ -1,7 +1,6 @@
 """Tests for the workload generators and the cruise controller."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.errors import ModelError
