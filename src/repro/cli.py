@@ -4,8 +4,9 @@ Sub-commands:
 
 * ``experiment {fig9a,fig9b,table1,cc,ablations,sweeps}`` — regenerate
   a paper table/figure (``--paper-scale`` restores the full §6 sizes;
-  ``--cache-dir DIR`` caches synthesized trees content-addressed, so
-  repeated runs skip every FTQS build);
+  ``--cache-dir DIR`` / ``--cache-backend {fs,memory,redis}`` cache
+  synthesized trees content-addressed, so repeated identical runs
+  skip every FTQS build);
 * ``demo`` — run the quickstart pipeline on the paper's Fig. 1
   example and print a Gantt chart;
 * ``schedule APP.json`` — synthesize a quasi-static tree for an
@@ -62,28 +63,58 @@ def _positive_int(text: str) -> int:
 
 
 def _open_store(args: argparse.Namespace):
-    """The tree store for ``--cache-dir`` (None when unset).
+    """The tree store for ``--cache-backend``/``--cache-dir``.
 
-    The directory itself is created on demand, but a nonexistent
-    *parent* is almost always a typo — reject it with a clear error
-    instead of silently caching into a surprise location or dying in
-    ``os.makedirs``.
+    ``fs`` (the default) activates only when ``--cache-dir`` is given
+    — its directory is created on demand, but a nonexistent *parent*
+    is almost always a typo, so that dies with a clear error instead
+    of silently caching into a surprise location.  ``memory`` needs no
+    flags at all; ``redis`` connects to ``--cache-url`` (or the
+    default localhost URL) and fails fast — missing redis package or
+    unreachable server — before any synthesis work starts.
     """
+    kind = getattr(args, "cache_backend", "fs") or "fs"
     cache_dir = getattr(args, "cache_dir", None)
-    if not cache_dir:
-        return None
-    parent = os.path.dirname(os.path.abspath(cache_dir))
-    if not os.path.isdir(parent):
+    cache_url = getattr(args, "cache_url", None)
+    if kind != "fs" and cache_dir:
         raise SystemExit(
-            f"error: --cache-dir parent directory does not exist: {parent}"
+            f"error: --cache-dir only applies to --cache-backend fs "
+            f"(got --cache-backend {kind})"
         )
-    if os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
+    if kind != "redis" and cache_url:
         raise SystemExit(
-            f"error: --cache-dir exists but is not a directory: {cache_dir}"
+            "error: --cache-url only applies to --cache-backend redis"
         )
-    from repro.pipeline.store import TreeStore
+    if kind == "fs":
+        if not cache_dir:
+            return None
+        parent = os.path.dirname(os.path.abspath(cache_dir))
+        if not os.path.isdir(parent):
+            raise SystemExit(
+                f"error: --cache-dir parent directory does not exist: "
+                f"{parent}"
+            )
+        if os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
+            raise SystemExit(
+                f"error: --cache-dir exists but is not a directory: "
+                f"{cache_dir}"
+            )
+    from repro.pipeline.store import TreeStore, open_backend
 
-    return TreeStore(cache_dir)
+    try:
+        backend = open_backend(kind, cache_dir=cache_dir, url=cache_url)
+    except Exception as exc:
+        # Missing redis package, unreachable server, bad URL: a clear
+        # one-liner beats a traceback out of the connection machinery.
+        raise SystemExit(f"error: --cache-backend {kind}: {exc}")
+    return TreeStore(backend=backend)
+
+
+def _wants_store(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "cache_dir", None)
+        or getattr(args, "cache_backend", "fs") not in (None, "fs")
+    )
 
 
 def _synthesis_routing(args: argparse.Namespace):
@@ -92,7 +123,7 @@ def _synthesis_routing(args: argparse.Namespace):
 
     stats = (
         SynthesisStats()
-        if args.synthesis == "fast" or getattr(args, "cache_dir", None)
+        if args.synthesis == "fast" or _wants_store(args)
         else None
     )
     return (
@@ -105,11 +136,13 @@ def _synthesis_routing(args: argparse.Namespace):
     )
 
 
-def _print_synthesis_line(stats) -> None:
+def _print_synthesis_line(stats, store=None) -> None:
     """Construction summary mirroring the simulate fast-path line."""
-    if stats is not None and (
-        stats.trees_built or stats.store_hits or stats.store_misses
-    ):
+    if stats is None:
+        return
+    if store is not None:
+        stats.absorb_store(store)
+    if stats.trees_built or stats.store_hits or stats.store_misses:
         print(stats.summary_line())
 
 
@@ -119,8 +152,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name
     routing = {"engine": args.engine, "jobs": args.jobs}
     synthesis, stats = _synthesis_routing(args)
-    synthesis["store"] = _open_store(args)
-    with ResourceManager() as resources:
+    store = _open_store(args)
+    synthesis["store"] = store
+    # The manager owns the store too: leaving the block releases the
+    # worker pools and the store backend's connections together.
+    with ResourceManager(store=store) as resources:
         synthesis["resources"] = resources
         if name in ("fig9a", "fig9b"):
             config = (
@@ -130,7 +166,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 config = replace(config, apps_per_size=args.apps)
             rows = run_fig9(replace(config, **routing), **synthesis)
             print(format_fig9(rows, panel="a" if name == "fig9a" else "b"))
-            _print_synthesis_line(stats)
+            _print_synthesis_line(stats, store)
             return 0
         if name == "table1":
             config = (
@@ -143,12 +179,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     run_table1(replace(config, **routing), **synthesis)
                 )
             )
-            _print_synthesis_line(stats)
+            _print_synthesis_line(stats, store)
             return 0
         if name == "cc":
             config = CCConfig.paper_scale() if args.paper_scale else CCConfig()
             print(run_cc(replace(config, **routing), **synthesis).format())
-            _print_synthesis_line(stats)
+            _print_synthesis_line(stats, store)
             return 0
         if name == "ablations":
             print(
@@ -156,7 +192,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     run_ablations(AblationConfig(**routing), **synthesis)
                 )
             )
-            _print_synthesis_line(stats)
+            _print_synthesis_line(stats, store)
             return 0
         if name == "sweeps":
             from repro.evaluation.experiments import (
@@ -180,7 +216,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     "fault budget k",
                 )
             )
-            _print_synthesis_line(stats)
+            _print_synthesis_line(stats, store)
             return 0
     print(f"unknown experiment {name!r}", file=sys.stderr)
     return 2
@@ -370,8 +406,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed tree store: identical (application, "
         "root, FTQS config) synthesis inputs reload the cached tree "
         "instead of rebuilding, so repeated runs report 100%% store "
-        "hits and zero FTQS builds (hit/miss counts appear on the "
-        "'synthesis:' summary line)",
+        "hits and zero FTQS builds (hit/miss/error counts appear on "
+        "the 'synthesis:' summary line); implies --cache-backend fs",
+    )
+    exp.add_argument(
+        "--cache-backend",
+        choices=["fs", "memory", "redis"],
+        default="fs",
+        help="where the tree store lives: 'fs' = a --cache-dir "
+        "directory of <fingerprint>.json files, 'memory' = an "
+        "in-process LRU (no flags, no dependencies — caches repeats "
+        "within one run), 'redis' = a server shared by a fleet of "
+        "workers (needs the redis package; see --cache-url)",
+    )
+    exp.add_argument(
+        "--cache-url",
+        default=None,
+        help="redis connection URL for --cache-backend redis "
+        "(default redis://localhost:6379/0)",
     )
     _add_engine_options(exp)
     _add_synthesis_options(exp)

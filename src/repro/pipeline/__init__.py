@@ -6,20 +6,39 @@ Three pieces (see the module docstrings for the full story):
   generate → synthesize → evaluate → rows loop all five experiment
   drivers are specs of;
 * :class:`~repro.pipeline.store.TreeStore` — content-addressed cache
-  of synthesized quasi-static trees (``repro experiment --cache-dir``);
+  of synthesized quasi-static trees over pluggable backends
+  (filesystem / in-memory LRU / Redis; ``repro experiment
+  --cache-backend``/``--cache-dir``), with per-operation
+  :class:`~repro.pipeline.store.StoreMetrics`;
 * :class:`~repro.pipeline.resources.ResourceManager` — experiment-
   scoped ownership of the synthesis and evaluation worker pools (one
-  spawn per run instead of one per application).
+  spawn per run instead of one per application) and of the run's
+  optional tree store.
 """
 
 from repro.pipeline.resources import ResourceManager
 from repro.pipeline.runner import ExperimentRunner, synthesize_tree
-from repro.pipeline.store import TreeStore, fingerprint
+from repro.pipeline.store import (
+    FilesystemBackend,
+    MemoryBackend,
+    RedisBackend,
+    StoreBackend,
+    StoreMetrics,
+    TreeStore,
+    fingerprint,
+    open_backend,
+)
 
 __all__ = [
     "ExperimentRunner",
+    "FilesystemBackend",
+    "MemoryBackend",
+    "RedisBackend",
     "ResourceManager",
+    "StoreBackend",
+    "StoreMetrics",
     "TreeStore",
     "fingerprint",
+    "open_backend",
     "synthesize_tree",
 ]

@@ -23,6 +23,12 @@ initializer-based ones.
 Pools are keyed by worker count, created lazily, and live until
 :meth:`ResourceManager.close` (or context-manager exit).  A manager
 with ``jobs == 1`` everywhere never spawns anything.
+
+The manager can also own the run's optional
+:class:`~repro.pipeline.store.TreeStore`: backends with real
+connections (Redis) are then released deterministically with the
+pools, and :class:`~repro.pipeline.runner.ExperimentRunner` picks the
+store up automatically when the caller does not pass one explicitly.
 """
 
 from __future__ import annotations
@@ -33,11 +39,11 @@ from repro.errors import RuntimeModelError
 
 
 class ResourceManager:
-    """Owns the worker pools of one experiment run.
+    """Owns the worker pools (and optional tree store) of one run.
 
     Use as a context manager::
 
-        with ResourceManager() as resources:
+        with ResourceManager(store=store) as resources:
             for app in applications:
                 tree = ftqs(app, root, config, jobs=4,
                             pool=resources.synthesis_pool(4))
@@ -46,12 +52,14 @@ class ResourceManager:
 
     Exactly one synthesis pool and one evaluation pool (per worker
     count) are spawned for the whole block, no matter how many
-    applications pass through.
+    applications pass through; exit closes the pools and the store's
+    backend.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional["TreeStore"] = None) -> None:
         self._synthesis_pools: Dict[int, "TaskPool"] = {}
         self._evaluation_pools: Dict[int, "TaskPool"] = {}
+        self.store = store
 
     # ------------------------------------------------------------------
     # Pool acquisition
@@ -101,12 +109,15 @@ class ResourceManager:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Terminate every owned pool (idempotent; the manager may be
-        used again afterwards — pools respawn lazily)."""
+        """Terminate every owned pool and close the owned store's
+        backend (idempotent; the manager may be used again afterwards
+        — pools respawn lazily)."""
         for cache in (self._synthesis_pools, self._evaluation_pools):
             for pool in cache.values():
                 pool.close()
             cache.clear()
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "ResourceManager":
         return self

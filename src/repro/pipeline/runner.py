@@ -108,8 +108,10 @@ class ExperimentRunner:
         invocations (e.g. both sweeps of ``repro experiment sweeps``)
         and leaves its lifecycle to the caller.
     store:
-        Optional :class:`TreeStore`; identical synthesis inputs then
-        reload instead of rebuilding.
+        Optional :class:`TreeStore` (any backend — filesystem, memory
+        LRU or Redis); identical synthesis inputs then reload instead
+        of rebuilding.  When omitted, a store owned by the passed-in
+        ``resources`` manager is picked up automatically.
     """
 
     def __init__(
@@ -128,6 +130,8 @@ class ExperimentRunner:
         self.synthesis = synthesis
         self.synthesis_jobs = synthesis_jobs
         self.stats = stats
+        if store is None and resources is not None:
+            store = resources.store
         self.store = store
         self._owns_resources = resources is None
         self.resources = (

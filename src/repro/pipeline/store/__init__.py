@@ -1,0 +1,45 @@
+"""The content-addressed tree store, split backend-from-policy.
+
+Four modules:
+
+* :mod:`~repro.pipeline.store.core` — :class:`TreeStore` (fingerprint
+  addressing, tree (de)serialization, corruption-degrades-to-miss) and
+  :func:`fingerprint`/:func:`application_tag`/:func:`open_backend`;
+* :mod:`~repro.pipeline.store.base` — the :class:`StoreBackend` ABC
+  (metered get/put/delete/keys/len template methods over opaque JSON
+  bytes) and its :class:`StoreMetrics` counters;
+* :mod:`~repro.pipeline.store.filesystem` /
+  :mod:`~repro.pipeline.store.memory` /
+  :mod:`~repro.pipeline.store.redis_backend` — the three backends:
+  today's atomic ``<fingerprint>.json`` directory, a capacity-bounded
+  in-process LRU, and a fleet-shared pipelined Redis LRU with TTL and
+  tag purges.
+
+Every backend gives the same guarantee the single-directory store
+gave: a repeated identical experiment run is 100% hits, zero FTQS
+builds, and bit-identical evaluation rows — and no entry, however
+mangled, can ever abort a run.
+"""
+
+from repro.pipeline.store.base import StoreBackend, StoreMetrics
+from repro.pipeline.store.core import (
+    TreeStore,
+    application_tag,
+    fingerprint,
+    open_backend,
+)
+from repro.pipeline.store.filesystem import FilesystemBackend
+from repro.pipeline.store.memory import MemoryBackend
+from repro.pipeline.store.redis_backend import RedisBackend
+
+__all__ = [
+    "FilesystemBackend",
+    "MemoryBackend",
+    "RedisBackend",
+    "StoreBackend",
+    "StoreMetrics",
+    "TreeStore",
+    "application_tag",
+    "fingerprint",
+    "open_backend",
+]

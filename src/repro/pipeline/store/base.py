@@ -1,0 +1,195 @@
+"""The backend interface of the content-addressed tree store.
+
+A backend is a tiny key→payload map: opaque UTF-8 JSON bytes under a
+fingerprint string.  Everything tree-shaped (serialization, corruption
+handling, fingerprinting) lives above the interface in
+:class:`~repro.pipeline.store.core.TreeStore`, so a backend only has
+to answer four questions — fetch, persist, forget, enumerate — and
+every backend answers them with the same robustness contract:
+
+* **reads never poison a run** — any :class:`OSError` (a permission
+  flip, an entry replaced by a directory, a vanished network mount) or
+  backend-specific transport error on the read path degrades to a
+  counted miss, never an exception into the experiment loop;
+* **every operation is measured** — the public :meth:`StoreBackend.get`
+  / :meth:`StoreBackend.put` / :meth:`StoreBackend.delete` are template
+  methods that time the raw primitive, classify the outcome and
+  accumulate a :class:`StoreMetrics`, so hit rates and latency come for
+  free on every backend (the pattern follows pypi-legacy's
+  instrumented ``RedisLru``).
+
+Concrete backends implement the underscored primitives:
+``_get``/``_put``/``_delete``/``_keys``.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass
+class StoreMetrics:
+    """Per-operation counters of one store backend.
+
+    ``hits``/``misses`` classify :meth:`StoreBackend.get` outcomes the
+    way the experiment loop sees them: a corrupted entry or a read
+    error is a *miss* (the caller rebuilds), with the cause broken out
+    under ``corrupted`` (payload present but undecodable) and
+    ``errors`` (the backend raised — a bad permission bit, a torn
+    connection).  ``get_seconds``/``put_seconds`` accumulate wall time
+    over the raw backend primitives; ``bytes_read``/``bytes_written``
+    count payload traffic.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    corrupted: int = 0
+    puts: int = 0
+    deletes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    get_seconds: float = 0.0
+    put_seconds: float = 0.0
+
+    @property
+    def gets(self) -> int:
+        return self.hits + self.misses
+
+    def note_corrupted(self) -> None:
+        """Reclassify the most recent hit as a corrupted miss.
+
+        The backend saw bytes (a hit at the transport level) but the
+        payload failed to decode into a tree; to the caller that is a
+        miss followed by a rebuild, so the hit/miss split must agree.
+        """
+        self.corrupted += 1
+        self.hits -= 1
+        self.misses += 1
+
+    def snapshot(self) -> "StoreMetrics":
+        """An immutable-by-convention copy of the current counters."""
+        return replace(self)
+
+    def merge(self, other: "StoreMetrics") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.errors += other.errors
+        self.corrupted += other.corrupted
+        self.puts += other.puts
+        self.deletes += other.deletes
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.get_seconds += other.get_seconds
+        self.put_seconds += other.put_seconds
+
+
+class StoreBackend(ABC):
+    """Abstract key→payload map with metered, fault-degrading access.
+
+    Subclasses set :attr:`name` (the tag on the CLI summary line) and
+    may widen :attr:`degradable` with their transport's error types;
+    the read path catches exactly those and turns them into counted
+    misses so one bad entry — or one flaky server — can never abort an
+    experiment run.
+    """
+
+    #: Short backend tag shown on the CLI ``synthesis:`` line.
+    name: str = "abstract"
+
+    #: Exception types the read path degrades to a counted miss.  Any
+    #: ``OSError`` (``PermissionError``, ``IsADirectoryError``, a dead
+    #: socket) qualifies on every backend.
+    degradable: Tuple[type, ...] = (OSError,)
+
+    def __init__(self) -> None:
+        self.metrics = StoreMetrics()
+
+    # ------------------------------------------------------------------
+    # Template methods (timed + classified)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        """The payload under ``key``, or ``None`` (miss or read error)."""
+        start = time.perf_counter()
+        try:
+            payload = self._get(key)
+        except self.degradable:
+            self.metrics.errors += 1
+            payload = None
+        finally:
+            self.metrics.get_seconds += time.perf_counter() - start
+        if payload is None:
+            self.metrics.misses += 1
+        else:
+            self.metrics.hits += 1
+            self.metrics.bytes_read += len(payload)
+        return payload
+
+    def put(
+        self, key: str, payload: bytes, tags: Iterable[str] = ()
+    ) -> str:
+        """Persist ``payload`` under ``key``; returns its location.
+
+        ``tags`` label the entry for group purges on backends that
+        support them (:meth:`purge_tag`).  Write failures propagate —
+        a store that cannot persist should fail loudly, unlike the
+        read path — but still count under ``errors``.
+        """
+        start = time.perf_counter()
+        try:
+            location = self._put(key, payload, tuple(tags))
+        except BaseException:
+            self.metrics.errors += 1
+            raise
+        finally:
+            self.metrics.put_seconds += time.perf_counter() - start
+        self.metrics.puts += 1
+        self.metrics.bytes_written += len(payload)
+        return location
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True when an entry was actually removed."""
+        removed = self._delete(key)
+        if removed:
+            self.metrics.deletes += 1
+        return removed
+
+    def keys(self) -> List[str]:
+        """All stored fingerprints, sorted."""
+        return self._keys()
+
+    def __len__(self) -> int:
+        return len(self._keys())
+
+    def purge_tag(self, tag: str) -> int:
+        """Remove every entry labelled ``tag``; returns the count.
+
+        Optional: backends without tag bookkeeping raise."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support tag-based purging"
+        )
+
+    def close(self) -> None:
+        """Release backend resources (connections); idempotent."""
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _get(self, key: str) -> Optional[bytes]:
+        """Raw fetch: payload bytes, or ``None`` when absent."""
+
+    @abstractmethod
+    def _put(self, key: str, payload: bytes, tags: Tuple[str, ...]) -> str:
+        """Raw persist; returns a human-meaningful location string."""
+
+    @abstractmethod
+    def _delete(self, key: str) -> bool:
+        """Raw removal; True when the entry existed."""
+
+    @abstractmethod
+    def _keys(self) -> List[str]:
+        """Raw sorted key enumeration."""

@@ -1,0 +1,114 @@
+"""The filesystem backend: a directory of ``<fingerprint>.json`` files.
+
+Behavior-preserving extraction of the original single-backend
+``TreeStore`` directory layout, plus two robustness fixes:
+
+* **any** ``OSError`` on a cache entry — not just ``FileNotFoundError``
+  — degrades to a counted miss (a permission flip or an entry replaced
+  by a directory used to abort the whole experiment run);
+* stale ``*.tmp`` files left by runs killed between ``mkstemp`` and
+  ``os.replace`` are swept when the store is opened, so a crashed run
+  cannot grow the cache directory forever (``__len__``/:meth:`_keys`
+  never counted them, and now they do not survive either).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import List, Optional, Tuple
+
+from repro.pipeline.store.base import StoreBackend
+
+
+class FilesystemBackend(StoreBackend):
+    """Atomic-write JSON files under one cache directory.
+
+    Parameters
+    ----------
+    root:
+        The cache directory.  Created if missing (its *parent* must
+        exist — the CLI validates this before construction).  Stale
+        temp files from killed runs are removed on open.
+    """
+
+    name = "fs"
+
+    def __init__(self, root: str):
+        super().__init__()
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.swept_temp_files = self._sweep_stale_temp_files()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def _sweep_stale_temp_files(self) -> int:
+        """Unlink ``*.tmp`` droppings of killed ``put()`` calls.
+
+        Safe against concurrent writers only in the way the atomic
+        write itself is: a temp file being written *right now* by
+        another process on the same store would be swept too, and that
+        writer's ``os.replace`` would fail — acceptable, because store
+        opens happen at run start, not mid-put, and a lost put is a
+        rebuild, never corruption.
+        """
+        swept = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for entry in names:
+            if entry.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.root, entry))
+                    swept += 1
+                except OSError:
+                    pass
+        return swept
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def _get(self, key: str) -> Optional[bytes]:
+        # A missing entry is an ordinary miss; every *other* OSError
+        # (PermissionError, IsADirectoryError, EIO ...) propagates to
+        # the base class, which counts it as an error-classified miss.
+        try:
+            with open(self.path_for(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def _put(self, key: str, payload: bytes, tags: Tuple[str, ...]) -> str:
+        path = self.path_for(key)
+        handle, temp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(payload)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def _delete(self, key: str) -> bool:
+        try:
+            os.unlink(self.path_for(key))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def _keys(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in names
+            if name.endswith(".json")
+        )

@@ -1,0 +1,92 @@
+"""The in-memory backend: a capacity-bounded process-local LRU.
+
+For in-process sweeps (`repro experiment --cache-backend memory`) the
+store's value is *within-run* reuse — sweep points revisiting the same
+(application, root, config) triple skip the rebuild — with no
+directory to manage and no dependencies.  Payloads are held as the
+same serialized bytes every other backend stores, so a memory-cached
+tree takes the identical decode path (and the identical corruption
+handling) as a filesystem- or Redis-cached one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import RuntimeModelError
+from repro.pipeline.store.base import StoreBackend
+
+
+class MemoryBackend(StoreBackend):
+    """LRU map of fingerprint → payload bytes.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries (``None`` = unbounded).  Inserting
+        past capacity evicts least-recently-*used* entries — a get
+        refreshes recency, so a sweep's working set survives while
+        one-shot entries age out.  ``evictions`` counts removals.
+    """
+
+    name = "memory"
+
+    def __init__(self, capacity: Optional[int] = None):
+        super().__init__()
+        if capacity is not None and capacity < 1:
+            raise RuntimeModelError(
+                f"MemoryBackend capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.evictions = 0
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._tags: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def _get(self, key: str) -> Optional[bytes]:
+        payload = self._entries.get(key)
+        if payload is not None:
+            self._entries.move_to_end(key)
+        return payload
+
+    def _put(self, key: str, payload: bytes, tags: Tuple[str, ...]) -> str:
+        self._entries[key] = bytes(payload)
+        self._entries.move_to_end(key)
+        for tag in tags:
+            self._tags.setdefault(tag, set()).add(key)
+        while (
+            self.capacity is not None
+            and len(self._entries) > self.capacity
+        ):
+            stale, _ = self._entries.popitem(last=False)
+            self._forget(stale)
+            self.evictions += 1
+        return key
+
+    def _delete(self, key: str) -> bool:
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self._forget(key)
+        return True
+
+    def _keys(self) -> List[str]:
+        return sorted(self._entries)
+
+    # ------------------------------------------------------------------
+    # Tags
+    # ------------------------------------------------------------------
+    def _forget(self, key: str) -> None:
+        for members in self._tags.values():
+            members.discard(key)
+
+    def purge_tag(self, tag: str) -> int:
+        """Drop every entry inserted under ``tag``."""
+        removed = 0
+        for key in sorted(self._tags.pop(tag, set())):
+            if self.delete(key):
+                removed += 1
+        return removed

@@ -1,0 +1,226 @@
+"""The Redis backend: one shared tree cache for a fleet of workers.
+
+The ROADMAP's scheduling-as-a-service story needs the cache to outlive
+one process and one machine: a tree synthesized once by any worker is
+never rebuilt anywhere.  This backend keeps the store's differential
+guarantee intact — payloads are the same canonical JSON bytes the
+filesystem backend writes, so a Redis-cached tree decodes through the
+identical path and evaluates bit-identically.
+
+Layout under one namespace (default ``repro:trees``):
+
+* ``<ns>:data:<fingerprint>`` — the payload string, optionally with a
+  TTL;
+* ``<ns>:lru`` — a sorted set scoring each fingerprint by a monotonic
+  access clock (``<ns>:clock``), the LRU index capacity eviction
+  trims (the pipelined touch-on-get follows pypi-legacy's
+  ``RedisLru``);
+* ``<ns>:tag:<tag>`` — the fingerprints inserted under ``tag``, for
+  group purges (e.g. every tree of one application).
+
+Round trips are pipelined: a get is one ``GET`` + LRU ``ZADD`` batch,
+a put is one ``SET`` + ``ZADD`` + tag-``SADD`` + ``ZCARD`` batch with
+eviction only when over capacity.  Transport errors on the read path
+degrade to counted misses like every other backend's.
+
+This module is importable without the ``redis`` package — only
+*constructing* a :class:`RedisBackend` without an explicit ``client``
+requires it (tests inject ``fakeredis`` or an in-repo stub).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import RuntimeModelError
+from repro.pipeline.store.base import StoreBackend
+
+try:  # pragma: no cover - exercised via the import-guard test
+    import redis as _redis
+except ImportError:  # pragma: no cover
+    _redis = None
+
+DEFAULT_URL = "redis://localhost:6379/0"
+
+
+def _text(value) -> str:
+    """Redis replies are bytes; normalize members/keys to str."""
+    if isinstance(value, bytes):
+        return value.decode("utf-8")
+    return str(value)
+
+
+class RedisBackend(StoreBackend):
+    """Pipelined Redis LRU with TTL, capacity eviction and tag purges.
+
+    Parameters
+    ----------
+    url:
+        Redis connection URL; used only when ``client`` is not given.
+    client:
+        A ready client (``redis.Redis``-compatible — ``fakeredis``
+        works).  Lets tests and embedders bypass the ``redis``
+        dependency entirely.
+    ttl_seconds:
+        Per-entry expiry (``None`` = entries live forever).  Expired
+        entries read as ordinary misses; their stale LRU index slots
+        are dropped on the touch that discovers them.
+    capacity:
+        Maximum entry count (``None`` = unbounded); inserts past it
+        evict the least-recently-used fingerprints (``evictions``
+        counts them).
+    namespace:
+        Key prefix, so several stores can share one server.
+    """
+
+    name = "redis"
+
+    def __init__(
+        self,
+        url: str = DEFAULT_URL,
+        *,
+        client=None,
+        ttl_seconds: Optional[int] = None,
+        capacity: Optional[int] = None,
+        namespace: str = "repro:trees",
+    ):
+        super().__init__()
+        if ttl_seconds is not None and ttl_seconds < 1:
+            raise RuntimeModelError(
+                f"ttl_seconds must be >= 1, got {ttl_seconds}"
+            )
+        if capacity is not None and capacity < 1:
+            raise RuntimeModelError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        if client is None:
+            if _redis is None:
+                raise RuntimeModelError(
+                    "RedisBackend needs the 'redis' package (or pass "
+                    "client=..., e.g. a fakeredis instance); install "
+                    "redis-py to use --cache-backend redis"
+                )
+            client = _redis.Redis.from_url(url)
+        self.client = client
+        self.url = url
+        self.ttl_seconds = ttl_seconds
+        self.capacity = capacity
+        self.namespace = namespace
+        self.evictions = 0
+        # Widen read-path degradation with the transport's error tree
+        # (redis.RedisError does not subclass OSError).
+        degradable = [OSError]
+        if _redis is not None:
+            degradable.append(_redis.RedisError)
+        client_error = getattr(type(client), "Error", None)
+        if isinstance(client_error, type):
+            degradable.append(client_error)
+        self.degradable = tuple(degradable)
+        # Fail fast at construction: a dead server should be a clear
+        # startup error, not a run that silently misses on every get.
+        self.client.ping()
+
+    # ------------------------------------------------------------------
+    # Key layout
+    # ------------------------------------------------------------------
+    def data_key(self, key: str) -> str:
+        return f"{self.namespace}:data:{key}"
+
+    def tag_key(self, tag: str) -> str:
+        return f"{self.namespace}:tag:{tag}"
+
+    @property
+    def lru_key(self) -> str:
+        return f"{self.namespace}:lru"
+
+    @property
+    def clock_key(self) -> str:
+        return f"{self.namespace}:clock"
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def _get(self, key: str) -> Optional[bytes]:
+        clock = self.client.incr(self.clock_key)
+        pipe = self.client.pipeline()
+        pipe.get(self.data_key(key))
+        pipe.zadd(self.lru_key, {key: clock})
+        payload, _ = pipe.execute()
+        if payload is None:
+            # Absent or TTL-expired: undo the optimistic LRU touch so
+            # the index never outgrows the data.
+            self.client.zrem(self.lru_key, key)
+            return None
+        if isinstance(payload, str):  # decode_responses=True clients
+            payload = payload.encode("utf-8")
+        return payload
+
+    def _put(self, key: str, payload: bytes, tags: Tuple[str, ...]) -> str:
+        clock = self.client.incr(self.clock_key)
+        pipe = self.client.pipeline()
+        if self.ttl_seconds is None:
+            pipe.set(self.data_key(key), payload)
+        else:
+            pipe.set(self.data_key(key), payload, ex=self.ttl_seconds)
+        pipe.zadd(self.lru_key, {key: clock})
+        for tag in tags:
+            pipe.sadd(self.tag_key(tag), key)
+        pipe.zcard(self.lru_key)
+        size = pipe.execute()[-1]
+        if self.capacity is not None and size > self.capacity:
+            self._evict(int(size) - self.capacity)
+        return self.data_key(key)
+
+    def _evict(self, count: int) -> None:
+        stale = self.client.zrange(self.lru_key, 0, count - 1)
+        if not stale:
+            return
+        keys = [_text(member) for member in stale]
+        pipe = self.client.pipeline()
+        for key in keys:
+            pipe.delete(self.data_key(key))
+        pipe.zrem(self.lru_key, *keys)
+        pipe.execute()
+        self.evictions += len(keys)
+
+    def _delete(self, key: str) -> bool:
+        pipe = self.client.pipeline()
+        pipe.delete(self.data_key(key))
+        pipe.zrem(self.lru_key, key)
+        removed, _ = pipe.execute()
+        return bool(removed)
+
+    def _keys(self) -> List[str]:
+        prefix = f"{self.namespace}:data:"
+        return sorted(
+            _text(name)[len(prefix):]
+            for name in self.client.scan_iter(match=f"{prefix}*")
+        )
+
+    # ------------------------------------------------------------------
+    # Tags / lifecycle
+    # ------------------------------------------------------------------
+    def purge_tag(self, tag: str) -> int:
+        """Drop every entry inserted under ``tag`` in one pipeline."""
+        members = self.client.smembers(self.tag_key(tag))
+        if not members:
+            return 0
+        keys = sorted(_text(member) for member in members)
+        pipe = self.client.pipeline()
+        for key in keys:
+            pipe.delete(self.data_key(key))
+        pipe.zrem(self.lru_key, *keys)
+        pipe.delete(self.tag_key(tag))
+        replies = pipe.execute()
+        removed = sum(1 for reply in replies[: len(keys)] if reply)
+        self.metrics.deletes += removed
+        return removed
+
+    def close(self) -> None:
+        close = getattr(self.client, "close", None)
+        if close is None:
+            return
+        try:
+            close()
+        except self.degradable:
+            pass

@@ -126,7 +126,10 @@ class SynthesisStats:
     work.  ``store_hits``/``store_misses`` count tree-store lookups
     when the caller synthesizes through a
     :class:`repro.pipeline.store.TreeStore` (a hit skips the build
-    entirely, so ``trees_built`` stays untouched).
+    entirely, so ``trees_built`` stays untouched); a corrupted or
+    error-raising entry counts as a miss.  :meth:`absorb_store` folds
+    in the store's backend-level error count and backend name so the
+    summary line can report them.
     """
 
     trees_built: int = 0
@@ -137,6 +140,8 @@ class SynthesisStats:
     wall_seconds: float = 0.0
     store_hits: int = 0
     store_misses: int = 0
+    store_errors: int = 0
+    store_backend: str = ""
 
     def merge(self, other: "SynthesisStats") -> None:
         self.trees_built += other.trees_built
@@ -147,14 +152,34 @@ class SynthesisStats:
         self.wall_seconds += other.wall_seconds
         self.store_hits += other.store_hits
         self.store_misses += other.store_misses
+        self.store_errors += other.store_errors
+        self.store_backend = self.store_backend or other.store_backend
+
+    def absorb_store(self, store) -> None:
+        """Fold one :class:`~repro.pipeline.store.TreeStore`'s
+        backend-level view in: the read-error count (entries that
+        raised and degraded to misses) and the backend's name.  Hits
+        and misses are *not* taken from the store — the pipeline
+        counts them per run, while a shared store's counters span its
+        whole lifetime."""
+        metrics = store.metrics
+        self.store_errors += metrics.errors
+        self.store_backend = store.backend_name
 
     def summary_line(self) -> str:
         """One-line summary mirroring the simulate fast-path line."""
         store = ""
-        if self.store_hits or self.store_misses:
+        if (
+            self.store_hits
+            or self.store_misses
+            or self.store_errors
+            or self.store_backend
+        ):
+            backend = self.store_backend or "store"
             store = (
-                f", store {self.store_hits} hits / "
-                f"{self.store_misses} misses"
+                f", store[{backend}] {self.store_hits} hits / "
+                f"{self.store_misses} misses / "
+                f"{self.store_errors} errors"
             )
         return (
             f"synthesis: {self.trees_built} tree(s), "

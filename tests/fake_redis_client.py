@@ -1,0 +1,198 @@
+"""A tiny in-repo stand-in for ``fakeredis``.
+
+The store's backend-conformance suite runs against
+:class:`~repro.pipeline.store.redis_backend.RedisBackend` even when
+neither a Redis server nor the ``fakeredis`` package is available:
+this client implements exactly the command subset the backend uses —
+``get``/``set(ex=)``/``delete``/``incr``/``zadd``/``zrem``/``zrange``/
+``zcard``/``sadd``/``smembers``/``scan_iter``/``ttl``/``ping`` and a
+generic ``pipeline`` — over plain dicts.
+
+Two testing affordances real servers lack:
+
+* :meth:`FakeRedisClient.advance` moves a manual clock, so TTL-expiry
+  tests never sleep;
+* :attr:`FakeRedisClient.fail_reads` makes every ``get`` raise
+  ``ConnectionError`` (an ``OSError``), the error-injection hook the
+  degrade-to-miss conformance tests use.
+
+Replies are bytes, like a default (non-``decode_responses``) redis-py
+client, so the backend's normalization paths are exercised.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+def _name(key) -> str:
+    if isinstance(key, bytes):
+        return key.decode("utf-8")
+    return str(key)
+
+
+def _payload(value) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return str(value).encode("utf-8")
+
+
+class _Pipeline:
+    """Queue commands, run them in order on ``execute()``.
+
+    A faithful-enough model of a non-transactional redis-py pipeline:
+    every queued call resolves against the same client state, replies
+    come back as one list.
+    """
+
+    def __init__(self, client: "FakeRedisClient"):
+        self._client = client
+        self._ops: List[Tuple[str, tuple, dict]] = []
+
+    def __getattr__(self, command: str):
+        def queue(*args, **kwargs) -> "_Pipeline":
+            self._ops.append((command, args, kwargs))
+            return self
+
+        return queue
+
+    def execute(self) -> list:
+        ops, self._ops = self._ops, []
+        return [
+            getattr(self._client, command)(*args, **kwargs)
+            for command, args, kwargs in ops
+        ]
+
+
+class FakeRedisClient:
+    def __init__(self):
+        self._strings: Dict[str, bytes] = {}
+        self._expiry: Dict[str, float] = {}
+        self._zsets: Dict[str, Dict[str, float]] = {}
+        self._sets: Dict[str, Set[str]] = {}
+        self._counters: Dict[str, int] = {}
+        self.now = 0.0
+        self.fail_reads = False
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Test affordances
+    # ------------------------------------------------------------------
+    def advance(self, seconds: float) -> None:
+        """Move the TTL clock forward (no sleeping in tests)."""
+        self.now += seconds
+
+    def _alive(self, key: str) -> bool:
+        expiry = self._expiry.get(key)
+        if expiry is not None and self.now >= expiry:
+            self._strings.pop(key, None)
+            self._expiry.pop(key, None)
+        return key in self._strings
+
+    # ------------------------------------------------------------------
+    # Strings
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return True
+
+    def get(self, key) -> Optional[bytes]:
+        if self.fail_reads:
+            raise ConnectionError("injected read fault")
+        key = _name(key)
+        if not self._alive(key):
+            return None
+        return self._strings[key]
+
+    def set(self, key, value, ex: Optional[int] = None) -> bool:
+        key = _name(key)
+        self._strings[key] = _payload(value)
+        if ex is None:
+            self._expiry.pop(key, None)
+        else:
+            self._expiry[key] = self.now + ex
+        return True
+
+    def delete(self, *keys) -> int:
+        removed = 0
+        for key in map(_name, keys):
+            if self._alive(key):
+                removed += 1
+            self._strings.pop(key, None)
+            self._expiry.pop(key, None)
+            if self._zsets.pop(key, None) is not None:
+                removed += 1
+            if self._sets.pop(key, None) is not None:
+                removed += 1
+            if self._counters.pop(key, None) is not None:
+                removed += 1
+        return removed
+
+    def incr(self, key) -> int:
+        key = _name(key)
+        self._counters[key] = self._counters.get(key, 0) + 1
+        return self._counters[key]
+
+    def ttl(self, key) -> int:
+        key = _name(key)
+        if not self._alive(key):
+            return -2
+        expiry = self._expiry.get(key)
+        if expiry is None:
+            return -1
+        return max(0, int(expiry - self.now))
+
+    def scan_iter(self, match: str = "*") -> Iterator[bytes]:
+        for key in sorted(self._strings):
+            if self._alive(key) and fnmatchcase(key, match):
+                yield key.encode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Sorted sets / sets
+    # ------------------------------------------------------------------
+    def zadd(self, key, mapping: Dict[str, float]) -> int:
+        zset = self._zsets.setdefault(_name(key), {})
+        added = sum(1 for member in mapping if _name(member) not in zset)
+        for member, score in mapping.items():
+            zset[_name(member)] = float(score)
+        return added
+
+    def zrem(self, key, *members) -> int:
+        zset = self._zsets.get(_name(key), {})
+        removed = 0
+        for member in map(_name, members):
+            if zset.pop(member, None) is not None:
+                removed += 1
+        return removed
+
+    def zcard(self, key) -> int:
+        return len(self._zsets.get(_name(key), {}))
+
+    def zrange(self, key, start: int, stop: int) -> List[bytes]:
+        zset = self._zsets.get(_name(key), {})
+        ordered = sorted(zset, key=lambda member: (zset[member], member))
+        stop = len(ordered) if stop == -1 else stop + 1
+        return [member.encode("utf-8") for member in ordered[start:stop]]
+
+    def sadd(self, key, *members) -> int:
+        group = self._sets.setdefault(_name(key), set())
+        added = sum(1 for member in map(_name, members) if member not in group)
+        group.update(map(_name, members))
+        return added
+
+    def smembers(self, key) -> Set[bytes]:
+        return {
+            member.encode("utf-8")
+            for member in self._sets.get(_name(key), set())
+        }
+
+    # ------------------------------------------------------------------
+    # Pipeline / lifecycle
+    # ------------------------------------------------------------------
+    def pipeline(self) -> _Pipeline:
+        return _Pipeline(self)
+
+    def close(self) -> None:
+        self.closed = True

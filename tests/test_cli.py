@@ -109,8 +109,25 @@ class TestArgumentValidation:
         assert main(["experiment", "cc", "--cache-dir", str(cache)]) == 0
         out = capsys.readouterr().out
         assert "Cruise controller" in out
-        assert "store 0 hits / 1 misses" in out
+        assert "store[fs] 0 hits / 1 misses / 0 errors" in out
         assert cache.is_dir() and len(list(cache.glob("*.json"))) == 1
+
+    def test_cache_dir_with_non_fs_backend_rejected(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "experiment", "cc",
+                "--cache-backend", "memory",
+                "--cache-dir", str(tmp_path / "cache"),
+            ])
+        assert "--cache-dir only applies" in str(excinfo.value)
+
+    def test_cache_url_without_redis_backend_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "experiment", "cc",
+                "--cache-url", "redis://localhost:6379/0",
+            ])
+        assert "--cache-url only applies" in str(excinfo.value)
 
 
 def test_experiment_cache_dir_second_run_all_hits(tmp_path, capsys):
@@ -120,13 +137,61 @@ def test_experiment_cache_dir_second_run_all_hits(tmp_path, capsys):
     assert main(["experiment", "cc", "--cache-dir", cache]) == 0
     first = capsys.readouterr().out
     assert "synthesis: 1 tree(s)" in first
-    assert "store 0 hits / 1 misses" in first
+    assert "store[fs] 0 hits / 1 misses / 0 errors" in first
 
     assert main(["experiment", "cc", "--cache-dir", cache]) == 0
     second = capsys.readouterr().out
     assert "synthesis: 0 tree(s)" in second  # zero builds
-    assert "store 1 hits / 0 misses" in second  # 100% hits
+    assert "store[fs] 1 hits / 0 misses / 0 errors" in second  # 100% hits
     # The cached run reports the same table (bit-identical evaluation).
+    assert first.split("synthesis:")[0].strip().splitlines()[:12] == (
+        second.split("synthesis:")[0].strip().splitlines()[:12]
+    )
+
+
+def test_experiment_memory_backend_needs_no_flags_or_deps(capsys):
+    """`--cache-backend memory` works with no extra dependencies and
+    no cache directory; the summary line names the backend."""
+    assert main(["experiment", "cc", "--cache-backend", "memory"]) == 0
+    out = capsys.readouterr().out
+    assert "Cruise controller" in out
+    assert "store[memory] 0 hits / 1 misses / 0 errors" in out
+
+
+def test_experiment_redis_backend_fails_fast_or_connects(capsys):
+    """Without redis-py (or a reachable server) the redis backend dies
+    with a clear one-liner before any synthesis work; with one (the
+    nightly service container) the run simply succeeds."""
+    argv = ["experiment", "cc", "--cache-backend", "redis"]
+    try:
+        code = main(argv)
+    except SystemExit as excinfo:
+        assert "--cache-backend redis" in str(excinfo)
+    else:
+        assert code == 0
+        assert "store[redis]" in capsys.readouterr().out
+
+
+def test_experiment_corrupted_cache_entry_degrades_to_error_miss(
+    tmp_path, capsys
+):
+    """A cache entry replaced by a directory (an OSError on read) must
+    not abort the run: it shows up as an error-counted miss and the
+    experiment completes with a rebuilt tree."""
+    import os
+
+    cache = tmp_path / "trees"
+    assert main(["experiment", "cc", "--cache-dir", str(cache)]) == 0
+    first = capsys.readouterr().out
+    (entry,) = list(cache.glob("*.json"))
+    os.unlink(entry)
+    os.makedirs(entry)
+    assert main(["experiment", "cc", "--cache-dir", str(cache)]) == 0
+    second = capsys.readouterr().out
+    # Two counted errors: the poisoned read, then the rebuild's put
+    # failing to overwrite the squatting directory — neither fatal.
+    assert "store[fs] 0 hits / 1 misses / 2 errors" in second
+    # Identical table despite the poisoned entry.
     assert first.split("synthesis:")[0].strip().splitlines()[:12] == (
         second.split("synthesis:")[0].strip().splitlines()[:12]
     )
