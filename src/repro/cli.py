@@ -6,7 +6,10 @@ Sub-commands:
   a paper table/figure (``--paper-scale`` restores the full §6 sizes;
   ``--cache-dir DIR`` / ``--cache-backend {fs,memory,redis}`` cache
   synthesized trees content-addressed, so repeated identical runs
-  skip every FTQS build);
+  skip every FTQS build; ``--checkpoint DIR``/``--resume`` journal
+  completed evaluation units so a killed sweep resumes byte-identical;
+  ``--chaos SPEC`` injects deterministic faults to exercise the
+  recovery paths);
 * ``demo`` — run the quickstart pipeline on the paper's Fig. 1
   example and print a Gantt chart;
 * ``schedule APP.json`` — synthesize a quasi-static tree for an
@@ -22,6 +25,7 @@ Sub-commands:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from dataclasses import replace
@@ -146,80 +150,179 @@ def _print_synthesis_line(stats, store=None) -> None:
         print(stats.summary_line())
 
 
+def _open_checkpoint(args: argparse.Namespace, name: str, config=None):
+    """The resume journal for ``--checkpoint``/``--resume`` (or None).
+
+    The workload fingerprint masks the routing knobs, so the routed
+    config can be passed directly: a sweep checkpointed with
+    ``--jobs 4`` resumes fine under ``--jobs 1``.  Manifest mismatches
+    (wrong experiment, different workload) die with the checkpoint
+    module's one-line explanation instead of a traceback.
+    """
+    directory = getattr(args, "checkpoint", None)
+    if not directory:
+        return None
+    from repro.errors import RuntimeModelError
+    from repro.pipeline.checkpoint import ExperimentCheckpoint
+
+    try:
+        return ExperimentCheckpoint(
+            directory,
+            experiment=name,
+            config=config,
+            resume=getattr(args, "resume", False),
+        )
+    except RuntimeModelError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _chaos_context(args: argparse.Namespace):
+    """The active fault-injection plan for ``--chaos SPEC`` (or a no-op).
+
+    Parse errors die at the CLI boundary with the offending token, so
+    a typo never makes it into a long experiment run.
+    """
+    spec = getattr(args, "chaos", None)
+    if not spec:
+        return contextlib.nullcontext()
+    from repro.pipeline import chaos
+
+    try:
+        plan = chaos.ChaosPlan.parse(spec)
+    except ValueError as exc:
+        raise SystemExit(f"error: --chaos: {exc}")
+    return chaos.active(plan)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.pipeline.chaos import ChaosKill
     from repro.pipeline.resources import ResourceManager
+    from repro.runtime.engine.parallel import (
+        pool_recovery,
+        reset_pool_recovery,
+    )
 
     name = args.name
+    if getattr(args, "resume", False) and not getattr(
+        args, "checkpoint", None
+    ):
+        raise SystemExit(
+            "error: --resume needs --checkpoint DIR (the journal to "
+            "resume from)"
+        )
     routing = {"engine": args.engine, "jobs": args.jobs}
     synthesis, stats = _synthesis_routing(args)
+    reset_pool_recovery()
     store = _open_store(args)
     synthesis["store"] = store
-    # The manager owns the store too: leaving the block releases the
-    # worker pools and the store backend's connections together.
-    with ResourceManager(store=store) as resources:
-        synthesis["resources"] = resources
-        if name in ("fig9a", "fig9b"):
-            config = (
-                Fig9Config.paper_scale() if args.paper_scale else Fig9Config()
-            )
-            if args.apps:
-                config = replace(config, apps_per_size=args.apps)
-            rows = run_fig9(replace(config, **routing), **synthesis)
-            print(format_fig9(rows, panel="a" if name == "fig9a" else "b"))
-            _print_synthesis_line(stats, store)
-            return 0
-        if name == "table1":
-            config = (
-                Table1Config.paper_scale()
-                if args.paper_scale
-                else Table1Config()
-            )
-            print(
-                format_table1(
-                    run_table1(replace(config, **routing), **synthesis)
+    checkpoint = None
+    try:
+        # The chaos plan (if any) is active for the whole run; the
+        # manager owns the store too, so leaving the block — normally
+        # or while unwinding an interrupt — releases the worker pools
+        # and the store backend's connections together.
+        with _chaos_context(args), ResourceManager(
+            store=store
+        ) as resources:
+            synthesis["resources"] = resources
+            if name in ("fig9a", "fig9b"):
+                config = (
+                    Fig9Config.paper_scale()
+                    if args.paper_scale
+                    else Fig9Config()
                 )
-            )
-            _print_synthesis_line(stats, store)
-            return 0
-        if name == "cc":
-            config = CCConfig.paper_scale() if args.paper_scale else CCConfig()
-            print(run_cc(replace(config, **routing), **synthesis).format())
-            _print_synthesis_line(stats, store)
-            return 0
-        if name == "ablations":
-            print(
-                format_ablations(
-                    run_ablations(AblationConfig(**routing), **synthesis)
+                if args.apps:
+                    config = replace(config, apps_per_size=args.apps)
+                config = replace(config, **routing)
+                checkpoint = _open_checkpoint(args, name, config)
+                synthesis["checkpoint"] = checkpoint
+                rows = run_fig9(config, **synthesis)
+                print(
+                    format_fig9(rows, panel="a" if name == "fig9a" else "b")
                 )
-            )
-            _print_synthesis_line(stats, store)
-            return 0
-        if name == "sweeps":
-            from repro.evaluation.experiments import (
-                SweepConfig,
-                format_sweep,
-                run_fault_budget_sweep,
-                run_soft_ratio_sweep,
-            )
+            elif name == "table1":
+                config = (
+                    Table1Config.paper_scale()
+                    if args.paper_scale
+                    else Table1Config()
+                )
+                config = replace(config, **routing)
+                checkpoint = _open_checkpoint(args, name, config)
+                synthesis["checkpoint"] = checkpoint
+                print(format_table1(run_table1(config, **synthesis)))
+            elif name == "cc":
+                config = (
+                    CCConfig.paper_scale() if args.paper_scale else CCConfig()
+                )
+                config = replace(config, **routing)
+                checkpoint = _open_checkpoint(args, name, config)
+                synthesis["checkpoint"] = checkpoint
+                print(run_cc(config, **synthesis).format())
+            elif name == "ablations":
+                config = AblationConfig(**routing)
+                checkpoint = _open_checkpoint(args, name, config)
+                synthesis["checkpoint"] = checkpoint
+                print(format_ablations(run_ablations(config, **synthesis)))
+            elif name == "sweeps":
+                from repro.evaluation.experiments import (
+                    SweepConfig,
+                    format_sweep,
+                    run_fault_budget_sweep,
+                    run_soft_ratio_sweep,
+                )
 
-            config = SweepConfig(**routing)
-            print(
-                format_sweep(
-                    run_soft_ratio_sweep(config=config, **synthesis),
-                    "soft ratio",
+                config = SweepConfig(**routing)
+                checkpoint = _open_checkpoint(args, name, config)
+                synthesis["checkpoint"] = checkpoint
+                print(
+                    format_sweep(
+                        run_soft_ratio_sweep(config=config, **synthesis),
+                        "soft ratio",
+                    )
                 )
-            )
-            print()
-            print(
-                format_sweep(
-                    run_fault_budget_sweep(config=config, **synthesis),
-                    "fault budget k",
+                print()
+                print(
+                    format_sweep(
+                        run_fault_budget_sweep(config=config, **synthesis),
+                        "fault budget k",
+                    )
                 )
+            else:
+                print(f"unknown experiment {name!r}", file=sys.stderr)
+                return 2
+        _print_synthesis_line(stats, store)
+        if checkpoint is not None:
+            print(checkpoint.summary_line())
+        recovery = pool_recovery()
+        if recovery.any():
+            print(f"resilience: pool {recovery.summary()}")
+        return 0
+    except KeyboardInterrupt:
+        # Pools and store were already released by the with-block's
+        # unwinding; report partial progress in one line, no traceback.
+        if checkpoint is not None:
+            progress = (
+                f"{checkpoint.journaled} unit(s) journaled this "
+                f"session, {checkpoint.completed} on disk — resume "
+                f"with --checkpoint {checkpoint.directory} --resume"
             )
-            _print_synthesis_line(stats, store)
-            return 0
-    print(f"unknown experiment {name!r}", file=sys.stderr)
-    return 2
+        else:
+            progress = (
+                "partial progress discarded (use --checkpoint DIR for "
+                "resumable runs)"
+            )
+        print(f"interrupted: {progress}", file=sys.stderr)
+        return 130
+    except ChaosKill as exc:
+        # The chaos plan's scripted mid-run kill: distinct exit code
+        # so the harness can tell "died as scripted" from real failures.
+        print(f"chaos: {exc}", file=sys.stderr)
+        if checkpoint is not None:
+            print(checkpoint.summary_line(), file=sys.stderr)
+        return 75
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -424,6 +527,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="redis connection URL for --cache-backend redis "
         "(default redis://localhost:6379/0)",
+    )
+    exp.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="journal completed evaluation units to DIR (a manifest "
+        "plus an append-only JSONL, fsynced per unit) so a killed run "
+        "can be resumed with --resume; the resumed run skips finished "
+        "work and emits rows byte-identical to an uninterrupted run",
+    )
+    exp.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from an existing --checkpoint DIR: journaled "
+        "units are decoded instead of re-simulated (refuses a "
+        "checkpoint whose experiment or workload fingerprint does "
+        "not match)",
+    )
+    exp.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for exercising the "
+        "recovery paths: comma-separated tokens — kill-worker@I[xN] "
+        "(SIGKILL the worker on task I, N times), hang-worker@I, "
+        "store-fail@N / store-fail@~K/M (fail the Nth / K seeded of "
+        "the first M store ops), kill-run@N (die after N journaled "
+        "units; exit code 75), budget@N, seed@S",
     )
     _add_engine_options(exp)
     _add_synthesis_options(exp)

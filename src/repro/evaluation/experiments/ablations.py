@@ -211,14 +211,16 @@ def run_ablations(
     stats=None,
     resources=None,
     store=None,
+    checkpoint=None,
 ) -> List[AblationRow]:
     """Run all ablations; utilities are normalized to ``ftss-default``.
 
     The FTSS ablations answer "how much does this FTSS design choice
     contribute to the static schedule's utility"; the FTQS rows answer
     the same for the tree construction.  A thin wrapper over
-    :class:`AblationRunner`; ``resources``/``store`` are the
-    pipeline's shared worker pools and tree cache.
+    :class:`AblationRunner`; ``resources``/``store``/``checkpoint``
+    are the pipeline's shared worker pools, tree cache and resume
+    journal.
     """
     return AblationRunner(
         config,
@@ -227,6 +229,7 @@ def run_ablations(
         stats=stats,
         resources=resources,
         store=store,
+        checkpoint=checkpoint,
     ).run()
 
 

@@ -132,12 +132,13 @@ def run_cc(
     stats=None,
     resources=None,
     store=None,
+    checkpoint=None,
 ) -> CCReport:
     """Run the CC case study and return the measured report.
 
-    A thin wrapper over :class:`CCRunner`; ``resources``/``store`` are
-    the pipeline's shared worker pools and tree cache (see
-    :mod:`repro.pipeline`).
+    A thin wrapper over :class:`CCRunner`; ``resources``/``store``/
+    ``checkpoint`` are the pipeline's shared worker pools, tree cache
+    and resume journal (see :mod:`repro.pipeline`).
     """
     return CCRunner(
         config,
@@ -146,4 +147,5 @@ def run_cc(
         stats=stats,
         resources=resources,
         store=store,
+        checkpoint=checkpoint,
     ).run()

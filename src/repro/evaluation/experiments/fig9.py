@@ -168,13 +168,14 @@ def run_fig9(
     stats=None,
     resources=None,
     store=None,
+    checkpoint=None,
 ) -> List[Fig9Row]:
     """Run the Fig. 9 experiment; returns all (size, approach, faults)
     points for both panels.
 
-    A thin wrapper over :class:`Fig9Runner`; ``resources``/``store``
-    are the pipeline's shared worker pools and tree cache (see
-    :mod:`repro.pipeline`).
+    A thin wrapper over :class:`Fig9Runner`; ``resources``/``store``/
+    ``checkpoint`` are the pipeline's shared worker pools, tree cache
+    and resume journal (see :mod:`repro.pipeline`).
     """
     return Fig9Runner(
         config,
@@ -184,6 +185,7 @@ def run_fig9(
         stats=stats,
         resources=resources,
         store=store,
+        checkpoint=checkpoint,
     ).run()
 
 

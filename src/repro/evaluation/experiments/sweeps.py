@@ -141,6 +141,7 @@ def _run_sweep(
     stats,
     resources,
     store,
+    checkpoint=None,
 ) -> List[SweepRow]:
     return SweepRunner(
         points,
@@ -150,6 +151,7 @@ def _run_sweep(
         stats=stats,
         resources=resources,
         store=store,
+        checkpoint=checkpoint,
     ).run()
 
 
@@ -163,6 +165,7 @@ def run_soft_ratio_sweep(
     stats=None,
     resources=None,
     store=None,
+    checkpoint=None,
 ) -> List[SweepRow]:
     """Sweep the soft-process fraction at fixed k."""
     points = [
@@ -179,7 +182,14 @@ def run_soft_ratio_sweep(
         for ratio in ratios
     ]
     return _run_sweep(
-        points, config, synthesis, synthesis_jobs, stats, resources, store
+        points,
+        config,
+        synthesis,
+        synthesis_jobs,
+        stats,
+        resources,
+        store,
+        checkpoint,
     )
 
 
@@ -193,6 +203,7 @@ def run_fault_budget_sweep(
     stats=None,
     resources=None,
     store=None,
+    checkpoint=None,
 ) -> List[SweepRow]:
     """Sweep the fault budget k at a fixed hard/soft mix."""
     points = [
@@ -209,7 +220,14 @@ def run_fault_budget_sweep(
         for k in budgets
     ]
     return _run_sweep(
-        points, config, synthesis, synthesis_jobs, stats, resources, store
+        points,
+        config,
+        synthesis,
+        synthesis_jobs,
+        stats,
+        resources,
+        store,
+        checkpoint,
     )
 
 

@@ -153,12 +153,13 @@ def run_table1(
     stats=None,
     resources=None,
     store=None,
+    checkpoint=None,
 ) -> List[Table1Row]:
     """Run the tree-size sweep; returns one row per M.
 
-    A thin wrapper over :class:`Table1Runner`; ``resources``/``store``
-    are the pipeline's shared worker pools and tree cache (see
-    :mod:`repro.pipeline`).
+    A thin wrapper over :class:`Table1Runner`; ``resources``/``store``/
+    ``checkpoint`` are the pipeline's shared worker pools, tree cache
+    and resume journal (see :mod:`repro.pipeline`).
     """
     return Table1Runner(
         config,
@@ -167,6 +168,7 @@ def run_table1(
         stats=stats,
         resources=resources,
         store=store,
+        checkpoint=checkpoint,
     ).run()
 
 

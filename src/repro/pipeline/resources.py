@@ -56,10 +56,21 @@ class ResourceManager:
     backend.
     """
 
-    def __init__(self, store: Optional["TreeStore"] = None) -> None:
+    def __init__(
+        self,
+        store: Optional["TreeStore"] = None,
+        *,
+        task_timeout: Optional[float] = None,
+        task_retries: int = 2,
+    ) -> None:
         self._synthesis_pools: Dict[int, "TaskPool"] = {}
         self._evaluation_pools: Dict[int, "TaskPool"] = {}
         self.store = store
+        #: Fault-tolerance knobs handed to every owned pool: per-task
+        #: deadline (seconds; None = wait forever) and how many times a
+        #: task may lose its worker before running in-process.
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
 
     # ------------------------------------------------------------------
     # Pool acquisition
@@ -77,7 +88,11 @@ class ResourceManager:
         """Spawn one generic pool (separate for spawn-count tests)."""
         from repro.runtime.engine.parallel import TaskPool
 
-        return TaskPool(jobs)
+        return TaskPool(
+            jobs,
+            task_timeout=self.task_timeout,
+            task_retries=self.task_retries,
+        )
 
     def synthesis_pool(self, jobs: int) -> Optional["TaskPool"]:
         """The shared FTQS candidate-evaluation pool (``None`` for

@@ -112,6 +112,15 @@ class ExperimentRunner:
         LRU or Redis); identical synthesis inputs then reload instead
         of rebuilding.  When omitted, a store owned by the passed-in
         ``resources`` manager is picked up automatically.
+    checkpoint:
+        Optional
+        :class:`~repro.pipeline.checkpoint.ExperimentCheckpoint`.
+        Every evaluator the runner hands out then journals its
+        completed ``compare``/``evaluate`` units durably, and a
+        resumed run decodes journaled units instead of re-simulating
+        (byte-identical rows; the journal's lifecycle belongs to the
+        caller, so several runner invocations — e.g. both sweeps —
+        can share one).
     """
 
     def __init__(
@@ -124,6 +133,7 @@ class ExperimentRunner:
         stats=None,
         resources: Optional[ResourceManager] = None,
         store: Optional[TreeStore] = None,
+        checkpoint=None,
     ):
         self.engine = engine
         self.jobs = jobs
@@ -133,6 +143,7 @@ class ExperimentRunner:
         if store is None and resources is not None:
             store = resources.store
         self.store = store
+        self.checkpoint = checkpoint
         self._owns_resources = resources is None
         self.resources = (
             resources if resources is not None else ResourceManager()
@@ -183,10 +194,28 @@ class ExperimentRunner:
         Scope it with ``with`` (or ``close()``): exit releases the
         application's scenario segments while the run-wide worker
         processes live on in the :class:`ResourceManager`.
+
+        With a :attr:`checkpoint`, the evaluator is wrapped in a
+        :class:`~repro.pipeline.checkpoint.JournalingEvaluator`:
+        completed units are journaled durably, already-journaled ones
+        are decoded instead of re-simulated, and the underlying
+        evaluator (with its eager scenario sampling) is only built on
+        the first journal miss.
         """
         kwargs.setdefault("engine", self.engine)
         kwargs.setdefault("jobs", self.jobs)
-        return self.resources.evaluator(app, **kwargs)
+        if self.checkpoint is None:
+            return self.resources.evaluator(app, **kwargs)
+        from repro.pipeline.checkpoint import JournalingEvaluator
+
+        return JournalingEvaluator(
+            self.checkpoint,
+            app,
+            factory=lambda: self.resources.evaluator(app, **kwargs),
+            n_scenarios=kwargs.get("n_scenarios", 200),
+            fault_counts=kwargs.get("fault_counts"),
+            seed=kwargs.get("seed", 1),
+        )
 
     # ------------------------------------------------------------------
     # Template method

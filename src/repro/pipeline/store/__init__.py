@@ -1,6 +1,6 @@
 """The content-addressed tree store, split backend-from-policy.
 
-Four modules:
+The modules:
 
 * :mod:`~repro.pipeline.store.core` — :class:`TreeStore` (fingerprint
   addressing, tree (de)serialization, corruption-degrades-to-miss) and
@@ -13,7 +13,11 @@ Four modules:
   :mod:`~repro.pipeline.store.redis_backend` — the three backends:
   today's atomic ``<fingerprint>.json`` directory, a capacity-bounded
   in-process LRU, and a fleet-shared pipelined Redis LRU with TTL and
-  tag purges.
+  tag purges;
+* :mod:`~repro.pipeline.store.resilient` — retry with exponential
+  backoff + jitter and a circuit breaker that degrades a persistently
+  failing backend onto an in-memory fallback (wrapped around the
+  redis backend by :func:`open_backend` automatically).
 
 Every backend gives the same guarantee the single-directory store
 gave: a repeated identical experiment run is 100% hits, zero FTQS
@@ -31,11 +35,14 @@ from repro.pipeline.store.core import (
 from repro.pipeline.store.filesystem import FilesystemBackend
 from repro.pipeline.store.memory import MemoryBackend
 from repro.pipeline.store.redis_backend import RedisBackend
+from repro.pipeline.store.resilient import ResilientBackend, RetryPolicy
 
 __all__ = [
     "FilesystemBackend",
     "MemoryBackend",
     "RedisBackend",
+    "ResilientBackend",
+    "RetryPolicy",
     "StoreBackend",
     "StoreMetrics",
     "TreeStore",

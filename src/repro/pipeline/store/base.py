@@ -54,6 +54,11 @@ class StoreMetrics:
     bytes_written: int = 0
     get_seconds: float = 0.0
     put_seconds: float = 0.0
+    #: Transient-failure re-attempts and fallback-served operations —
+    #: driven by :class:`~repro.pipeline.store.resilient
+    #: .ResilientBackend`; always zero on bare backends.
+    retries: int = 0
+    degraded: int = 0
 
     @property
     def gets(self) -> int:
@@ -85,6 +90,8 @@ class StoreMetrics:
         self.bytes_written += other.bytes_written
         self.get_seconds += other.get_seconds
         self.put_seconds += other.put_seconds
+        self.retries += other.retries
+        self.degraded += other.degraded
 
 
 class StoreBackend(ABC):

@@ -94,7 +94,11 @@ def open_backend(
 
     ``fs`` needs ``cache_dir``; ``memory`` needs nothing; ``redis``
     takes ``url`` (default ``redis://localhost:6379/0``) and needs the
-    ``redis`` package installed.
+    ``redis`` package installed.  The redis backend comes wrapped in a
+    :class:`~repro.pipeline.store.resilient.ResilientBackend`:
+    transient transport errors retry with exponential backoff, and a
+    persistently dead server trips a circuit breaker onto an in-memory
+    fallback instead of degrading every operation over the wire.
     """
     if kind == "fs":
         if not cache_dir:
@@ -109,11 +113,14 @@ def open_backend(
             DEFAULT_URL,
             RedisBackend,
         )
+        from repro.pipeline.store.resilient import ResilientBackend
 
-        return RedisBackend(
-            url or DEFAULT_URL,
-            ttl_seconds=ttl_seconds,
-            capacity=capacity,
+        return ResilientBackend(
+            RedisBackend(
+                url or DEFAULT_URL,
+                ttl_seconds=ttl_seconds,
+                capacity=capacity,
+            )
         )
     raise RuntimeModelError(
         f"unknown store backend {kind!r} (choose fs, memory or redis)"

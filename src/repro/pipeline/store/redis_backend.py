@@ -118,7 +118,14 @@ class RedisBackend(StoreBackend):
         self.degradable = tuple(degradable)
         # Fail fast at construction: a dead server should be a clear
         # startup error, not a run that silently misses on every get.
-        self.client.ping()
+        try:
+            self.client.ping()
+        except self.degradable as exc:
+            raise RuntimeModelError(
+                f"cannot reach redis at {url}: {exc} — is the server "
+                f"reachable? (or use --cache-backend memory for a "
+                f"dependency-free in-process cache)"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Key layout

@@ -1,0 +1,199 @@
+"""Retry, backoff and circuit-breaker degradation for store backends.
+
+A networked tree cache (Redis over a real wire) fails in two shapes:
+
+* **transient** — a dropped connection, a failover blip, a timeout.
+  Worth a few re-attempts with exponential backoff (plus jitter so a
+  fleet of workers does not retry in lock-step);
+* **persistent** — the server is gone for the rest of the run.  Worth
+  exactly *zero* further wire attempts: after ``breaker_threshold``
+  consecutive raw failures the circuit breaker trips and every later
+  operation is served by an in-process
+  :class:`~repro.pipeline.store.memory.MemoryBackend` fallback.  The
+  run finishes (the cache degrades to per-run memoization — repeats
+  within the run still hit), and the degradation is visible as
+  ``StoreMetrics.degraded`` on the CLI ``store[...]`` line.
+
+:class:`ResilientBackend` wraps any
+:class:`~repro.pipeline.store.base.StoreBackend` and routes the raw
+``_get``/``_put``/``_delete``/``_keys`` primitives through that
+policy; it presents the *inner* backend's name and degradable error
+types, so to :class:`~repro.pipeline.store.core.TreeStore` and the
+summary line it still looks like ``redis`` — just one that refuses to
+die.  :func:`~repro.pipeline.store.core.open_backend` wraps the redis
+backend in one automatically.
+
+Every raw attempt first consults the active
+:class:`~repro.pipeline.chaos.ChaosPlan` (if any), whose
+``store-fail@N`` hook raises :class:`ConnectionError` on scheduled
+ops — that is how the tests drive the retry and breaker paths
+deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import warnings
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.pipeline import chaos
+from repro.pipeline.store.base import StoreBackend
+from repro.pipeline.store.memory import MemoryBackend
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient store failures.
+
+    Attempt *i* (0-based re-attempt) sleeps
+    ``min(max_delay, base_delay * 2**i) * (1 + jitter * u)`` with
+    ``u ~ U[0, 1)`` drawn from the wrapper's seeded RNG — deterministic
+    under test, decorrelated across a fleet in production.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        backoff = min(self.max_delay, self.base_delay * (2.0**attempt))
+        return backoff * (1.0 + self.jitter * rng.random())
+
+
+class ResilientBackend(StoreBackend):
+    """Retrying, breaker-degrading wrapper around another backend.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped backend (its template methods are bypassed — the
+        wrapper meters operations itself, so nothing double-counts).
+    policy:
+        The :class:`RetryPolicy` (default: 3 attempts, 50 ms base).
+    breaker_threshold:
+        Consecutive raw failures that trip the breaker (default 6 —
+        two fully-exhausted operations under the default policy).
+    fallback:
+        The post-trip backend (default: a fresh unbounded
+        :class:`MemoryBackend`).
+    sleep, seed:
+        Injectable clock and jitter seed, so tests run in microseconds
+        and assert exact traces.
+    """
+
+    def __init__(
+        self,
+        inner: StoreBackend,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 6,
+        fallback: Optional[StoreBackend] = None,
+        sleep=time.sleep,
+        seed: int = 0,
+    ):
+        self.inner = inner  # before super(): __getattr__ guards on it
+        super().__init__()
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        self.policy = policy or RetryPolicy()
+        self.breaker_threshold = breaker_threshold
+        self.fallback = fallback if fallback is not None else MemoryBackend()
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._consecutive_failures = 0
+        self.tripped = False
+        # Present the inner backend's identity: the summary line says
+        # "store[redis]" and TreeStore catches the transport's errors.
+        self.name = inner.name
+        self.degradable = tuple(
+            dict.fromkeys(tuple(inner.degradable) + (OSError,))
+        )
+
+    # ------------------------------------------------------------------
+    # Core routing
+    # ------------------------------------------------------------------
+    def _chaos_op(self) -> None:
+        plan = chaos.current()
+        if plan is not None:
+            plan.store_op()
+
+    def _trip(self, exc: BaseException) -> None:
+        self.tripped = True
+        warnings.warn(
+            f"store backend '{self.name}' hit "
+            f"{self._consecutive_failures} consecutive transport "
+            f"failures (last: {exc!r}); circuit breaker open — serving "
+            f"the rest of the run from an in-memory fallback",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _call(self, op: str, *args):
+        """Run one raw primitive with retry/backoff, or the fallback."""
+        if self.tripped:
+            self.metrics.degraded += 1
+            return getattr(self.fallback, op)(*args)
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.policy.attempts):
+            if attempt:
+                self.metrics.retries += 1
+                self._sleep(self.policy.delay(attempt - 1, self._rng))
+            try:
+                self._chaos_op()
+                result = getattr(self.inner, op)(*args)
+            except self.degradable as exc:
+                last_error = exc
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.breaker_threshold:
+                    self._trip(exc)
+                    self.metrics.degraded += 1
+                    return getattr(self.fallback, op)(*args)
+                continue
+            self._consecutive_failures = 0
+            return result
+        raise last_error
+
+    # ------------------------------------------------------------------
+    # Primitives (metered by the inherited template methods)
+    # ------------------------------------------------------------------
+    def _get(self, key: str) -> Optional[bytes]:
+        return self._call("_get", key)
+
+    def _put(self, key: str, payload: bytes, tags: Tuple[str, ...]) -> str:
+        return self._call("_put", key, payload, tags)
+
+    def _delete(self, key: str) -> bool:
+        return self._call("_delete", key)
+
+    def _keys(self) -> List[str]:
+        return self._call("_keys")
+
+    # ------------------------------------------------------------------
+    # Pass-throughs
+    # ------------------------------------------------------------------
+    def purge_tag(self, tag: str) -> int:
+        if self.tripped:
+            return self.fallback.purge_tag(tag)
+        removed = self.inner.purge_tag(tag)
+        self.metrics.deletes += removed
+        return removed
+
+    def close(self) -> None:
+        try:
+            self.inner.close()
+        except Exception:
+            pass  # a torn connection must not mask the run's result
+        self.fallback.close()
+
+    def __getattr__(self, attr):
+        # Backend-specific surface (``client``, ``evictions``,
+        # ``path_for``...) reads through to the wrapped backend.
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(attr)
+        return getattr(inner, attr)

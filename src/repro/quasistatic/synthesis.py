@@ -141,6 +141,8 @@ class SynthesisStats:
     store_hits: int = 0
     store_misses: int = 0
     store_errors: int = 0
+    store_retries: int = 0
+    store_degraded: int = 0
     store_backend: str = ""
 
     def merge(self, other: "SynthesisStats") -> None:
@@ -153,6 +155,8 @@ class SynthesisStats:
         self.store_hits += other.store_hits
         self.store_misses += other.store_misses
         self.store_errors += other.store_errors
+        self.store_retries += other.store_retries
+        self.store_degraded += other.store_degraded
         self.store_backend = self.store_backend or other.store_backend
 
     def absorb_store(self, store) -> None:
@@ -164,6 +168,8 @@ class SynthesisStats:
         whole lifetime."""
         metrics = store.metrics
         self.store_errors += metrics.errors
+        self.store_retries += metrics.retries
+        self.store_degraded += metrics.degraded
         self.store_backend = store.backend_name
 
     def summary_line(self) -> str:
@@ -181,6 +187,15 @@ class SynthesisStats:
                 f"{self.store_misses} misses / "
                 f"{self.store_errors} errors"
             )
+            # Resilience counters ride along only when they fired, so
+            # the common-case line (and its exact-string tests) is
+            # unchanged.
+            if self.store_retries:
+                store += f" / {self.store_retries} retries"
+            if self.store_degraded:
+                store += (
+                    f" / {self.store_degraded} degraded-to-memory ops"
+                )
         return (
             f"synthesis: {self.trees_built} tree(s), "
             f"{self.nodes_expanded} nodes expanded, "

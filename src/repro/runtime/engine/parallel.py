@@ -27,8 +27,16 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
+import pickle
+import signal
+import sys
+import time
+import warnings
 import weakref
-from multiprocessing import shared_memory
+from collections import deque
+from dataclasses import dataclass, replace
+from multiprocessing import connection, shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -194,6 +202,182 @@ def _release(pool, segments) -> None:
             pass
 
 
+@dataclass
+class PoolRecovery:
+    """Counters of one pool's (or the process's) fault handling.
+
+    ``worker_deaths`` counts workers that died unexpectedly mid-run
+    (a crash or SIGKILL), ``timeouts`` workers killed for exceeding the
+    per-task deadline, ``respawns`` replacement workers forked,
+    ``task_retries`` tasks re-dispatched after losing their worker,
+    ``degraded_tasks`` tasks that exhausted their retry budget and ran
+    in-process instead, and ``pool_degradations`` pools that spent
+    their whole respawn budget and finished the run in-process
+    (``jobs=N`` → ``jobs=1`` with a warning, never an abort).
+    """
+
+    worker_deaths: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+    task_retries: int = 0
+    degraded_tasks: int = 0
+    pool_degradations: int = 0
+
+    def any(self) -> bool:
+        return bool(
+            self.worker_deaths
+            or self.timeouts
+            or self.respawns
+            or self.task_retries
+            or self.degraded_tasks
+            or self.pool_degradations
+        )
+
+    def snapshot(self) -> "PoolRecovery":
+        return replace(self)
+
+    def merge(self, other: "PoolRecovery") -> None:
+        self.worker_deaths += other.worker_deaths
+        self.timeouts += other.timeouts
+        self.respawns += other.respawns
+        self.task_retries += other.task_retries
+        self.degraded_tasks += other.degraded_tasks
+        self.pool_degradations += other.pool_degradations
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.worker_deaths} worker death(s)",
+            f"{self.respawns} respawn(s)",
+            f"{self.task_retries} retried task(s)",
+        ]
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeout(s)")
+        if self.degraded_tasks:
+            parts.append(
+                f"{self.degraded_tasks} in-process fallback task(s)"
+            )
+        if self.pool_degradations:
+            parts.append(
+                f"{self.pool_degradations} pool(s) degraded to "
+                f"in-process"
+            )
+        return " / ".join(parts)
+
+
+#: Process-wide aggregate over every pool (the CLI summary line reads
+#: this; :func:`reset_pool_recovery` scopes it to one invocation).
+_GLOBAL_RECOVERY = PoolRecovery()
+
+
+def pool_recovery() -> PoolRecovery:
+    """The process-wide recovery counters (live object)."""
+    return _GLOBAL_RECOVERY
+
+
+def reset_pool_recovery() -> None:
+    """Zero the process-wide counters (start of a CLI invocation)."""
+    _GLOBAL_RECOVERY.worker_deaths = 0
+    _GLOBAL_RECOVERY.timeouts = 0
+    _GLOBAL_RECOVERY.respawns = 0
+    _GLOBAL_RECOVERY.task_retries = 0
+    _GLOBAL_RECOVERY.degraded_tasks = 0
+    _GLOBAL_RECOVERY.pool_degradations = 0
+
+
+def _chaos_plan():
+    """The active chaos plan, without importing the chaos module.
+
+    Consulting ``sys.modules`` keeps this layer free of a pipeline
+    import (no cycle) and free even of the import cost: a plan can
+    only be active if something already imported and activated it.
+    """
+    module = sys.modules.get("repro.pipeline.chaos")
+    return module.current() if module is not None else None
+
+
+def _apply_chaos_action(action: str) -> None:  # pragma: no cover - dies
+    """Worker-side execution of an injected fault."""
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "hang":
+        while True:
+            time.sleep(3600.0)
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """``exc`` if it survives pickling, else a picklable stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeModelError(f"worker task failed: {exc!r}")
+
+
+def _pool_worker_main(task_r, result_w, initializer, initargs) -> None:
+    """Worker process body: init once, then a recv→run→send loop.
+
+    Messages are ``(gen, seq, fn, task, chaos_action)``; replies are
+    ``(gen, seq, ok, result_or_exception)``.  ``gen`` identifies the
+    :meth:`TaskPool.map` call, so the parent can discard results of an
+    aborted map instead of mistaking them for the current one's.
+    """
+    if initializer is not None:
+        initializer(*initargs)
+    while True:
+        try:
+            item = task_r.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        gen, seq, fn, task, action = item
+        if action is not None:
+            _apply_chaos_action(action)
+        try:
+            payload = (gen, seq, True, fn(task))
+        except BaseException as exc:
+            payload = (gen, seq, False, _portable_exception(exc))
+        try:
+            result_w.send(payload)
+        except (BrokenPipeError, OSError):
+            return
+        except Exception as exc:  # unpicklable result
+            result_w.send(
+                (
+                    gen,
+                    seq,
+                    False,
+                    RuntimeModelError(
+                        f"worker result not picklable: {exc!r}"
+                    ),
+                )
+            )
+
+
+class _Worker:
+    """One worker process plus its private task/result pipes.
+
+    Per-worker pipes (instead of shared queues) are the crash-safety
+    foundation: a worker SIGKILLed mid-``send`` can only tear its own
+    channel, never wedge a lock other workers and the parent share —
+    the classic way ``multiprocessing.Pool.map`` deadlocks on a dead
+    worker.
+    """
+
+    __slots__ = ("process", "task_w", "result_r", "current")
+
+    def __init__(self, process, task_w, result_r):
+        self.process = process
+        self.task_w = task_w
+        self.result_r = result_r
+        #: (gen, seq, dispatched_at) of the in-flight task, or None.
+        self.current: Optional[Tuple[int, int, float]] = None
+
+
+#: Parent poll interval while waiting on results/sentinels.
+_POLL_SECONDS = 0.05
+
+
 class TaskPool:
     """Small task-sharding facade over a persistent worker pool.
 
@@ -216,12 +400,43 @@ class TaskPool:
     :class:`repro.pipeline.resources.ResourceManager` shares one pool
     across every application of an experiment run instead of paying a
     spawn per application.
+
+    **Fault tolerance.**  The pool runs its own workers over private
+    pipes and supervises them through their process sentinels, so a
+    worker that dies mid-task (a crash, an OOM kill, injected chaos)
+    is *detected* — not hung on, which is what
+    ``multiprocessing.Pool.map`` does — and its task is re-dispatched
+    to a respawned worker.  Task results are pure functions of the
+    task, so a retry is bit-identical to an undisturbed run.  Each
+    task gets at most ``task_retries`` re-dispatches before it runs
+    in-process (a counted, warned degradation, never an abort); a pool
+    that burns its whole respawn budget degrades to in-process
+    execution for the rest of the run the same way.  ``task_timeout``
+    (seconds, ``None`` = wait forever) additionally treats an
+    over-deadline task's worker as dead.  Per-pool counters live on
+    :attr:`recovery`; process-wide aggregates on
+    :func:`pool_recovery`.
     """
 
-    def __init__(self, processes: int, initializer=None, initargs=()):
+    def __init__(
+        self,
+        processes: int,
+        initializer=None,
+        initargs=(),
+        task_timeout: Optional[float] = None,
+        task_retries: int = 2,
+    ):
         if processes < 1:
             raise RuntimeModelError(
                 f"worker count must be positive, got {processes}"
+            )
+        if task_timeout is not None and task_timeout <= 0:
+            raise RuntimeModelError(
+                f"task_timeout must be positive, got {task_timeout}"
+            )
+        if task_retries < 0:
+            raise RuntimeModelError(
+                f"task_retries must be >= 0, got {task_retries}"
             )
         # Start the shared-memory resource tracker *before* forking
         # workers.  A generic pool is often spawned before the first
@@ -233,26 +448,255 @@ class TaskPool:
 
         resource_tracker.ensure_running()
         self.processes = processes
-        self._pool = multiprocessing.get_context().Pool(
-            processes=processes,
-            initializer=initializer,
-            initargs=initargs,
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
+        self.recovery = PoolRecovery()
+        self._ctx = multiprocessing.get_context()
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._inline_ready = initializer is None
+        self._closed = False
+        self._degraded = False
+        self._respawn_budget = max(4, 2 * processes)
+        self._gen = 0
+        self._workers: List[_Worker] = [
+            self._spawn_worker() for _ in range(processes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> _Worker:
+        task_r, task_w = self._ctx.Pipe(duplex=False)
+        result_r, result_w = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(task_r, result_w, self._initializer, self._initargs),
+            daemon=True,
+        )
+        process.start()
+        # Parent keeps the write end of tasks, read end of results.
+        task_r.close()
+        result_w.close()
+        return _Worker(process, task_w, result_r)
+
+    @staticmethod
+    def _stop_worker(worker: _Worker) -> None:
+        """Kill/join/close one worker; never raises (crash-safe)."""
+        try:
+            if worker.process.is_alive():
+                worker.process.kill()
+        except Exception:
+            pass
+        try:
+            worker.process.join(timeout=5.0)
+        except Exception:
+            pass
+        for pipe in (worker.task_w, worker.result_r):
+            try:
+                pipe.close()
+            except Exception:
+                pass
+
+    def _note(self, counter: str, amount: int = 1) -> None:
+        setattr(
+            self.recovery, counter, getattr(self.recovery, counter) + amount
+        )
+        setattr(
+            _GLOBAL_RECOVERY,
+            counter,
+            getattr(_GLOBAL_RECOVERY, counter) + amount,
         )
 
+    def _run_inline(self, fn, task):
+        """In-process degraded execution (bit-identical by purity)."""
+        if not self._inline_ready:
+            self._initializer(*self._initargs)
+            self._inline_ready = True
+        return fn(task)
+
+    def _degrade(self, pending: deque) -> None:
+        """Give up on worker processes for the rest of this pool's life."""
+        self._note("pool_degradations")
+        warnings.warn(
+            "TaskPool spent its worker respawn budget; finishing the "
+            "run in-process (results are unchanged, parallelism is "
+            "lost)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for worker in self._workers:
+            if worker.current is not None:
+                pending.append(worker.current[1])
+            self._stop_worker(worker)
+        self._workers = []
+        self._degraded = True
+
+    # ------------------------------------------------------------------
+    # map
+    # ------------------------------------------------------------------
     def map(self, fn, tasks):
-        """Run ``fn`` over ``tasks``; results in task order."""
-        return self._pool.map(fn, tasks)
+        """Run ``fn`` over ``tasks``; results in task order.
+
+        Worker crashes, injected chaos kills and task timeouts are
+        recovered internally (see the class docstring); the only
+        exceptions that propagate are the task function's own.
+        """
+        if self._closed:
+            raise RuntimeModelError("cannot map on a closed TaskPool")
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        self._gen += 1
+        gen = self._gen
+        plan = _chaos_plan()
+        n = len(tasks)
+        results: List = [None] * n
+        done = [False] * n
+        attempts = [0] * n
+        pending: deque = deque(range(n))
+        inline: deque = deque()
+        remaining = n
+
+        while remaining:
+            if self._degraded or not self._workers:
+                if not self._degraded:
+                    self._degrade(pending)
+                inline.extend(pending)
+                pending.clear()
+            while inline:
+                seq = inline.popleft()
+                if done[seq]:
+                    continue
+                results[seq] = self._run_inline(fn, tasks[seq])
+                done[seq] = True
+                remaining -= 1
+            if not remaining:
+                break
+            self._dispatch(fn, tasks, gen, pending, done, attempts, plan)
+            remaining -= self._collect(gen, results, done)
+            self._reap(gen, pending, inline, done, attempts)
+        return results
+
+    def _dispatch(self, fn, tasks, gen, pending, done, attempts, plan):
+        """Hand pending tasks to idle live workers."""
+        for worker in self._workers:
+            if not pending:
+                return
+            if worker.current is not None or not worker.process.is_alive():
+                continue
+            seq = pending.popleft()
+            while done[seq] and pending:
+                seq = pending.popleft()
+            if done[seq]:
+                return
+            action = (
+                plan.pool_action(seq, attempts[seq])
+                if plan is not None
+                else None
+            )
+            try:
+                worker.task_w.send((gen, seq, fn, tasks[seq], action))
+            except (BrokenPipeError, OSError):
+                # Died since the last reap; the next reap respawns it.
+                pending.appendleft(seq)
+                continue
+            worker.current = (gen, seq, time.monotonic())
+
+    def _collect(self, gen, results, done) -> int:
+        """Wait briefly for results; returns how many tasks finished.
+
+        Waits on the busy workers' result pipes *and* their process
+        sentinels, so a SIGKILLed worker wakes the parent immediately
+        instead of stalling the map until a timeout.
+        """
+        busy = [w for w in self._workers if w.current is not None]
+        if not busy:
+            return 0
+        by_pipe = {w.result_r: w for w in busy}
+        sentinels = [w.process.sentinel for w in busy]
+        ready = connection.wait(
+            list(by_pipe) + sentinels, timeout=_POLL_SECONDS
+        )
+        collected = 0
+        for obj in ready:
+            worker = by_pipe.get(obj)
+            if worker is None:
+                continue  # a sentinel: the reap pass handles the death
+            try:
+                rgen, seq, ok, payload = worker.result_r.recv()
+            except (EOFError, OSError):
+                continue  # torn mid-send: reaped as a crash
+            # One in-flight task per worker, FIFO: any reply frees it.
+            worker.current = None
+            if rgen != gen or done[seq]:
+                continue  # stale reply from an aborted or retried map
+            if not ok:
+                raise payload
+            results[seq] = payload
+            done[seq] = True
+            collected += 1
+        return collected
+
+    def _reap(self, gen, pending, inline, done, attempts) -> None:
+        """Detect dead/over-deadline workers; requeue, respawn."""
+        now = time.monotonic()
+        for worker in list(self._workers):
+            crashed = not worker.process.is_alive()
+            timed_out = (
+                not crashed
+                and worker.current is not None
+                and self.task_timeout is not None
+                and now - worker.current[2] > self.task_timeout
+            )
+            if not crashed and not timed_out:
+                continue
+            self._note("timeouts" if timed_out else "worker_deaths")
+            current = worker.current
+            self._stop_worker(worker)
+            self._workers.remove(worker)
+            if current is not None:
+                cgen, seq, _ = current
+                if cgen == gen and not done[seq]:
+                    attempts[seq] += 1
+                    if attempts[seq] > self.task_retries:
+                        self._note("degraded_tasks")
+                        warnings.warn(
+                            f"pool task {seq} lost its worker "
+                            f"{attempts[seq]} times; degrading it to "
+                            f"in-process execution (result unchanged)",
+                            RuntimeWarning,
+                            stacklevel=4,
+                        )
+                        inline.append(seq)
+                    else:
+                        self._note("task_retries")
+                        pending.append(seq)
+            if self._respawn_budget > 0:
+                self._respawn_budget -= 1
+                self._note("respawns")
+                self._workers.append(self._spawn_worker())
 
     # -- lifecycle (terminate/join mirror multiprocessing.Pool so the
     # facade drops into code that managed a raw Pool before) ----------
     def terminate(self) -> None:
-        self._pool.terminate()
+        """Signal every worker to stop (idempotent, crash-safe)."""
+        for worker in self._workers:
+            try:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+            except Exception:
+                pass
 
     def join(self) -> None:
-        self._pool.join()
+        """Reap every worker and release their pipes (idempotent)."""
+        for worker in self._workers:
+            self._stop_worker(worker)
+        self._workers = []
+        self._closed = True
 
     def close(self) -> None:
-        """Terminate the workers (idempotent)."""
+        """Terminate the workers (idempotent, safe after crashes)."""
         self.terminate()
         self.join()
 

@@ -31,6 +31,7 @@ from repro.pipeline.store import (
 from repro.quasistatic.ftqs import FTQSConfig, ftqs
 from repro.quasistatic.synthesis import SynthesisStats
 from repro.scheduling.ftss import ftss
+from fake_redis_client import FakeRedisClient
 from test_json_io import assert_trees_identical
 
 CONFIG = FTQSConfig(max_schedules=6)
@@ -454,6 +455,124 @@ class TestRedisBackend:
         backend.close()
         if hasattr(client, "closed"):
             assert client.closed
+
+    def test_unreachable_server_names_url_and_suggests_fallback(self):
+        """The construct-time ping failure is a clear startup error:
+        it names the target URL and points at --cache-backend memory."""
+
+        class DeadClient(FakeRedisClient):
+            def ping(self):
+                raise ConnectionError("connection refused")
+
+        with pytest.raises(RuntimeModelError) as excinfo:
+            RedisBackend("redis://db.example:6379/0", client=DeadClient())
+        message = str(excinfo.value)
+        assert "redis://db.example:6379/0" in message
+        assert "is the server reachable" in message
+        assert "--cache-backend memory" in message
+
+
+class FlakyRedisClient(FakeRedisClient):
+    """A client whose next ``fail_next`` reads raise ConnectionError —
+    the *transient* failure shape (vs ``fail_reads``' permanent one)."""
+
+    def __init__(self, fail_next: int = 0):
+        super().__init__()
+        self.fail_next = fail_next
+
+    def get(self, key):
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise ConnectionError("injected transient fault")
+        return super().get(key)
+
+
+class TestResilientBackend:
+    """The transient-failure leg of the conformance suite: retry with
+    backoff then success, and circuit-breaker degradation onto the
+    in-memory fallback — both visible on the metrics the CLI line
+    reports."""
+
+    def _wrap(self, client, **kwargs):
+        from repro.pipeline.store import ResilientBackend, RetryPolicy
+
+        kwargs.setdefault(
+            "policy", RetryPolicy(base_delay=0.0, jitter=0.0)
+        )
+        kwargs.setdefault("sleep", lambda _seconds: None)
+        return ResilientBackend(RedisBackend(client=client), **kwargs)
+
+    def test_transient_fault_retries_then_succeeds(self):
+        client = FlakyRedisClient(fail_next=1)
+        backend = self._wrap(client)
+        backend.put("a", b"A")
+        assert backend.get("a") == b"A"
+        metrics = backend.metrics
+        assert metrics.retries == 1
+        assert metrics.errors == 0
+        assert metrics.hits == 1
+        assert not backend.tripped
+
+    def test_exhausted_retries_degrade_to_counted_error_miss(self):
+        client = FlakyRedisClient(fail_next=3)  # the whole budget
+        backend = self._wrap(client)
+        backend.put("a", b"A")
+        assert backend.get("a") is None
+        metrics = backend.metrics
+        assert metrics.retries == 2
+        assert metrics.errors == 1
+        assert metrics.misses == 1
+        assert not backend.tripped
+        # The fault was transient: the next get recovers on the wire.
+        assert backend.get("a") == b"A"
+
+    def test_breaker_trips_onto_memory_fallback(self):
+        import warnings
+
+        client = _redis_client()
+        backend = self._wrap(client, breaker_threshold=4)
+        backend.put("a", b"A")
+        client.fail_reads = True
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert backend.get("a") is None  # failures 1-3: exhausted
+            assert backend.get("a") is None  # failure 4: breaker opens
+        assert backend.tripped
+        assert any(
+            "circuit breaker" in str(warning.message)
+            for warning in caught
+        )
+        # Post-trip operations never touch the wire again — even after
+        # the server 'recovers' — and repeats hit the fallback.
+        client.fail_reads = False
+        backend.put("b", b"B")
+        assert backend.get("b") == b"B"
+        assert backend.fallback.get("b") == b"B"
+        assert client.get(backend.data_key("b")) is None  # not on wire
+        assert backend.metrics.degraded >= 3
+
+    def test_wrapped_store_keeps_conformance_and_counts_resilience(
+        self, fig1_app
+    ):
+        """TreeStore over the wrapper still round-trips identically,
+        and the retry/degradation counters surface on the synthesis
+        summary line the CLI prints."""
+        client = FlakyRedisClient(fail_next=1)
+        store = TreeStore(backend=self._wrap(client))
+        root = ftss(fig1_app)
+        stats = SynthesisStats()
+        tree = synthesize_tree(
+            fig1_app, root, CONFIG, stats=stats, store=store
+        )
+        cached = synthesize_tree(
+            fig1_app, root, CONFIG, stats=stats, store=store
+        )
+        assert_trees_identical(tree, cached)
+        stats.absorb_store(store)
+        line = stats.summary_line()
+        assert "store[redis]" in line
+        assert "1 retries" in line
+        assert "degraded" not in line  # breaker never tripped
 
 
 @pytest.mark.skipif(
