@@ -10,6 +10,10 @@ Sub-commands:
   completed evaluation units so a killed sweep resumes byte-identical;
   ``--chaos SPEC`` injects deterministic faults to exercise the
   recovery paths);
+* ``serve`` — run the scheduling service: ``POST /v1/schedule`` /
+  ``POST /v1/evaluate`` JSON over HTTP with health/readiness/metrics
+  probes, bounded-queue backpressure (429), per-request deadlines
+  (504) and graceful drain on SIGTERM;
 * ``demo`` — run the quickstart pipeline on the paper's Fig. 1
   example and print a Gantt chart;
 * ``schedule APP.json`` — synthesize a quasi-static tree for an
@@ -176,21 +180,28 @@ def _open_checkpoint(args: argparse.Namespace, name: str, config=None):
         raise SystemExit(f"error: {exc}")
 
 
-def _chaos_context(args: argparse.Namespace):
-    """The active fault-injection plan for ``--chaos SPEC`` (or a no-op).
+def _chaos_plan(text: str):
+    """argparse type for ``--chaos SPEC``: the parsed plan itself.
 
-    Parse errors die at the CLI boundary with the offending token, so
-    a typo never makes it into a long experiment run.
+    Parsing at argument time means a typo dies as a one-line usage
+    error before any experiment state (stores, checkpoints, pools)
+    has been touched — not minutes into a long run.
     """
-    spec = getattr(args, "chaos", None)
-    if not spec:
-        return contextlib.nullcontext()
     from repro.pipeline import chaos
 
     try:
-        plan = chaos.ChaosPlan.parse(spec)
+        return chaos.ChaosPlan.parse(text)
     except ValueError as exc:
-        raise SystemExit(f"error: --chaos: {exc}")
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _chaos_context(args: argparse.Namespace):
+    """Scoped activation of the already-parsed ``--chaos`` plan."""
+    plan = getattr(args, "chaos", None)
+    if plan is None:
+        return contextlib.nullcontext()
+    from repro.pipeline import chaos
+
     return chaos.active(plan)
 
 
@@ -325,6 +336,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             checkpoint.close()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.pipeline.store.resilient import ResilientBackend
+    from repro.service import ServiceConfig, serve
+
+    store = _open_store(args)
+    if store is not None and not isinstance(store.backend, ResilientBackend):
+        # Every served backend gets retry + circuit breaker: a cache
+        # outage (or a --chaos store-fail burst) must degrade the
+        # readiness probe, never fail scheduling requests.
+        store.backend = ResilientBackend(store.backend)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        synthesis_jobs=args.synthesis_jobs,
+        synthesis=args.synthesis,
+        engine=args.engine,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        request_timeout=(
+            args.request_timeout if args.request_timeout > 0 else None
+        ),
+        drain_timeout=args.drain_timeout,
+        store=store,
+    )
+    with _chaos_context(args):
+        return serve(config)
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.analysis.gantt import render_gantt
     from repro.examples_support import paper_fig1_application
@@ -442,6 +482,53 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    """Tree-store flags shared by ``experiment`` and ``serve``."""
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed tree store: identical (application, "
+        "root, FTQS config) synthesis inputs reload the cached tree "
+        "instead of rebuilding, so repeated runs report 100%% store "
+        "hits and zero FTQS builds (hit/miss/error counts appear on "
+        "the 'synthesis:' summary line); implies --cache-backend fs",
+    )
+    parser.add_argument(
+        "--cache-backend",
+        choices=["fs", "memory", "redis"],
+        default="fs",
+        help="where the tree store lives: 'fs' = a --cache-dir "
+        "directory of <fingerprint>.json files, 'memory' = an "
+        "in-process LRU (no flags, no dependencies — caches repeats "
+        "within one run), 'redis' = a server shared by a fleet of "
+        "workers (needs the redis package; see --cache-url)",
+    )
+    parser.add_argument(
+        "--cache-url",
+        default=None,
+        help="redis connection URL for --cache-backend redis "
+        "(default redis://localhost:6379/0)",
+    )
+
+
+def _add_chaos_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chaos",
+        type=_chaos_plan,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for exercising the "
+        "recovery paths: comma-separated tokens — kill-worker@I[xN] "
+        "(SIGKILL the worker on task I, N times), hang-worker@I, "
+        "store-fail@N / store-fail@A-B / store-fail@~K/M (fail the "
+        "Nth / every A..Bth / K seeded of the first M store ops), "
+        "slow-request@N[xS] (wedge the Nth served compute request "
+        "for S seconds, default 30), kill-run@N (die after N "
+        "journaled units; exit code 75), budget@N, seed@S; a bad "
+        "token fails at parse time",
+    )
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     """Simulation-engine routing flags shared by the sub-commands."""
     parser.add_argument(
@@ -503,31 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="full §6 sizes (50 apps/size, 20k scenarios) — slow",
     )
     exp.add_argument("--apps", type=int, default=0, help="apps per size")
-    exp.add_argument(
-        "--cache-dir",
-        default=None,
-        help="content-addressed tree store: identical (application, "
-        "root, FTQS config) synthesis inputs reload the cached tree "
-        "instead of rebuilding, so repeated runs report 100%% store "
-        "hits and zero FTQS builds (hit/miss/error counts appear on "
-        "the 'synthesis:' summary line); implies --cache-backend fs",
-    )
-    exp.add_argument(
-        "--cache-backend",
-        choices=["fs", "memory", "redis"],
-        default="fs",
-        help="where the tree store lives: 'fs' = a --cache-dir "
-        "directory of <fingerprint>.json files, 'memory' = an "
-        "in-process LRU (no flags, no dependencies — caches repeats "
-        "within one run), 'redis' = a server shared by a fleet of "
-        "workers (needs the redis package; see --cache-url)",
-    )
-    exp.add_argument(
-        "--cache-url",
-        default=None,
-        help="redis connection URL for --cache-backend redis "
-        "(default redis://localhost:6379/0)",
-    )
+    _add_cache_options(exp)
     exp.add_argument(
         "--checkpoint",
         default=None,
@@ -545,20 +608,61 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint whose experiment or workload fingerprint does "
         "not match)",
     )
-    exp.add_argument(
-        "--chaos",
-        default=None,
-        metavar="SPEC",
-        help="deterministic fault injection for exercising the "
-        "recovery paths: comma-separated tokens — kill-worker@I[xN] "
-        "(SIGKILL the worker on task I, N times), hang-worker@I, "
-        "store-fail@N / store-fail@~K/M (fail the Nth / K seeded of "
-        "the first M store ops), kill-run@N (die after N journaled "
-        "units; exit code 75), budget@N, seed@S",
-    )
+    _add_chaos_option(exp)
     _add_engine_options(exp)
     _add_synthesis_options(exp)
     exp.set_defaults(func=_cmd_experiment)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the scheduling service (JSON over HTTP)",
+        description="Serve POST /v1/schedule and POST /v1/evaluate "
+        "over HTTP, plus the /healthz, /readyz and /metrics probes. "
+        "Responses of /v1/schedule are byte-identical to the files "
+        "the 'schedule' sub-command writes. SIGTERM/Ctrl-C drains "
+        "in-flight requests and exits 0.",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (0 = pick an ephemeral port; the bound "
+        "address is printed as 'serving on http://HOST:PORT')",
+    )
+    srv.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=4,
+        help="scheduling/evaluation requests computed concurrently",
+    )
+    srv.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=16,
+        help="requests allowed to wait for a worker; beyond that new "
+        "requests are shed with 429 and a Retry-After hint",
+    )
+    srv.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request wall-clock deadline — an overdue request "
+        "gets 504 and its computation is discarded (0 = no deadline)",
+    )
+    srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long a graceful shutdown waits for in-flight work",
+    )
+    _add_cache_options(srv)
+    _add_chaos_option(srv)
+    _add_engine_options(srv)
+    _add_synthesis_options(srv)
+    srv.set_defaults(func=_cmd_serve)
 
     demo = sub.add_parser("demo", help="run the Fig. 1 example")
     demo.add_argument("--schedules", type=int, default=8)

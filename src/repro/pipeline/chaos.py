@@ -18,7 +18,11 @@ three recovery paths:
 * **run kills** — raise :class:`ChaosKill` immediately after the Nth
   row reaches the checkpoint journal, modelling a sweep killed between
   rows (the journal write has already been fsynced, so ``--resume``
-  picks up exactly there).
+  picks up exactly there);
+* **service faults** — wedge the Nth ``repro serve`` compute request
+  inside its worker (``slow-request@N``), driving the service's
+  deadline, backpressure and drain-timeout paths the same
+  deterministic way.
 
 The plan is installed process-globally (:func:`activate` /
 :func:`active`); the hooks are consulted through :func:`current` by
@@ -64,6 +68,11 @@ class ChaosPlan:
         1-based indices into the run's sequence of raw resilient-store
         operations (each retry attempt counts) that raise
         :class:`ConnectionError`.
+    slow_request:
+        ``{request index: seconds}`` — the Nth (1-based) service
+        compute request sleeps that long inside its worker before the
+        real work, modelling a request wedged past its deadline (and,
+        with several of them, sustained load on the bounded queue).
     kill_run_after_rows:
         Raise :class:`ChaosKill` right after this many rows have been
         journaled to the checkpoint.
@@ -77,6 +86,7 @@ class ChaosPlan:
     kill_worker: Dict[int, int] = field(default_factory=dict)
     hang_worker: FrozenSet[int] = frozenset()
     store_fail_ops: FrozenSet[int] = frozenset()
+    slow_request: Dict[int, float] = field(default_factory=dict)
     kill_run_after_rows: Optional[int] = None
     kill_budget: Optional[int] = None
     seed: int = 0
@@ -87,6 +97,8 @@ class ChaosPlan:
     store_ops_seen: int = 0
     store_failures_injected: int = 0
     rows_journaled: int = 0
+    service_requests_seen: int = 0
+    slow_requests_injected: int = 0
 
     def reset(self) -> None:
         self.kills_delivered = 0
@@ -94,6 +106,8 @@ class ChaosPlan:
         self.store_ops_seen = 0
         self.store_failures_injected = 0
         self.rows_journaled = 0
+        self.service_requests_seen = 0
+        self.slow_requests_injected = 0
 
     # ------------------------------------------------------------------
     # Hooks
@@ -131,6 +145,18 @@ class ChaosPlan:
                 f"{self.store_ops_seen}"
             )
 
+    def service_request(self) -> float:
+        """Called by the service at the start of each compute request;
+        returns the injected delay in seconds (0.0 = undisturbed).
+        The sleep happens *inside* the request's worker, so a slow
+        request occupies real queue capacity exactly the way a wedged
+        synthesis would."""
+        self.service_requests_seen += 1
+        delay = self.slow_request.get(self.service_requests_seen, 0.0)
+        if delay > 0.0:
+            self.slow_requests_injected += 1
+        return delay
+
     def row_written(self) -> None:
         """Called after each journaled checkpoint row; raises
         :class:`ChaosKill` once the configured row count is reached.
@@ -153,13 +179,17 @@ class ChaosPlan:
 
         Tokens: ``kill-worker@I`` (once) / ``kill-worker@IxN`` (N
         times), ``hang-worker@I``, ``store-fail@N`` (the Nth raw store
-        op) / ``store-fail@~K/N`` (K seeded-random ops among the first
-        N), ``kill-run@N`` (after the Nth journaled row),
-        ``budget@N``, ``seed@S``.
+        op) / ``store-fail@A-B`` (every op in the range) /
+        ``store-fail@~K/N`` (K seeded-random ops among the first N),
+        ``slow-request@N`` (wedge the Nth service compute request for
+        30 s) / ``slow-request@NxS`` (for S seconds, float),
+        ``kill-run@N`` (after the Nth journaled row), ``budget@N``,
+        ``seed@S``.
         """
         kill_worker: Dict[int, int] = {}
         hang_worker = set()
         store_fail = set()
+        slow_request: Dict[int, float] = {}
         random_fail = None
         kill_run = None
         budget = None
@@ -188,7 +218,25 @@ class ChaosPlan:
                         count, _, span = value[1:].partition("/")
                         random_fail = (int(count), int(span))
                     else:
-                        store_fail.add(int(value))
+                        match = re.fullmatch(r"(\d+)(?:-(\d+))?", value)
+                        if not match:
+                            raise ValueError(value)
+                        lo = int(match.group(1))
+                        hi = int(match.group(2) or lo)
+                        if hi < lo:
+                            raise ValueError(
+                                f"empty range {lo}-{hi}"
+                            )
+                        store_fail.update(range(lo, hi + 1))
+                elif name == "slow-request":
+                    match = re.fullmatch(
+                        r"(\d+)(?:x(\d+(?:\.\d+)?))?", value
+                    )
+                    if not match:
+                        raise ValueError(value)
+                    slow_request[int(match.group(1))] = float(
+                        match.group(2) or 30.0
+                    )
                 elif name == "kill-run":
                     kill_run = int(value)
                 elif name == "budget":
@@ -199,7 +247,7 @@ class ChaosPlan:
                     raise ValueError(
                         f"unknown chaos token {name!r} (know "
                         f"kill-worker, hang-worker, store-fail, "
-                        f"kill-run, budget, seed)"
+                        f"slow-request, kill-run, budget, seed)"
                     )
             except ValueError as exc:
                 if "chaos token" in str(exc):
@@ -215,6 +263,7 @@ class ChaosPlan:
             kill_worker=kill_worker,
             hang_worker=frozenset(hang_worker),
             store_fail_ops=frozenset(store_fail),
+            slow_request=slow_request,
             kill_run_after_rows=kill_run,
             kill_budget=budget,
             seed=seed,

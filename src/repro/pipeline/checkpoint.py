@@ -59,6 +59,17 @@ def _canonical(data: Dict[str, Any]) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
+def masked_workload(config) -> Optional[Dict[str, Any]]:
+    """The fingerprinted view of a config: a plain dict with the
+    result-neutral routing knobs (:data:`_ROUTING_KNOBS`) removed."""
+    if config is None:
+        return None
+    data = dict(asdict(config) if is_dataclass(config) else config)
+    for knob in _ROUTING_KNOBS:
+        data.pop(knob, None)
+    return data
+
+
 def checkpoint_fingerprint(experiment: str, config=None) -> str:
     """Stable identity of one experiment workload.
 
@@ -67,14 +78,34 @@ def checkpoint_fingerprint(experiment: str, config=None) -> str:
     with ``--jobs 4`` resumes fine under ``--jobs 1``.
     """
     payload: Dict[str, Any] = {"experiment": experiment}
-    if config is not None:
-        data = dict(asdict(config) if is_dataclass(config) else config)
-        for knob in _ROUTING_KNOBS:
-            data.pop(knob, None)
-        payload["workload"] = data
+    workload = masked_workload(config)
+    if workload is not None:
+        payload["workload"] = workload
     return hashlib.sha256(
         _canonical(payload).encode("utf-8")
     ).hexdigest()
+
+
+def _workload_diff(
+    theirs: Optional[Dict[str, Any]], ours: Optional[Dict[str, Any]]
+) -> str:
+    """One comma-separated summary of how two workloads differ.
+
+    Names each masked config field whose value changed (with both
+    values), so the error says *what* to fix, not just that the
+    fingerprints disagree.  An older manifest without a recorded
+    workload gets an honest fallback.
+    """
+    if theirs is None or ours is None:
+        return "the checkpoint predates workload recording"
+    differing = []
+    for name in sorted(set(theirs) | set(ours)):
+        a, b = theirs.get(name, "<absent>"), ours.get(name, "<absent>")
+        if a != b:
+            differing.append(f"{name} (checkpoint {a!r}, this run {b!r})")
+    if not differing:
+        return "identical recorded workloads with differing fingerprints"
+    return "differing field(s): " + ", ".join(differing)
 
 
 class ExperimentCheckpoint:
@@ -107,6 +138,7 @@ class ExperimentCheckpoint:
         self.directory = os.path.abspath(directory)
         self.experiment = experiment
         self.fingerprint = checkpoint_fingerprint(experiment, config)
+        self.workload = masked_workload(config)
         self.resume = resume
         #: Units journaled by this session / reused from a prior one.
         self.journaled = 0
@@ -134,6 +166,9 @@ class ExperimentCheckpoint:
                 "format": FORMAT_VERSION,
                 "experiment": self.experiment,
                 "fingerprint": self.fingerprint,
+                # The masked config itself, not just its hash: a
+                # mismatched --resume can then say *which* field moved.
+                "workload": self.workload,
             },
             indent=2,
             sort_keys=True,
@@ -160,11 +195,20 @@ class ExperimentCheckpoint:
                 f"{path}: {exc}"
             ) from exc
         if manifest.get("fingerprint") != self.fingerprint:
+            if manifest.get("experiment") != self.experiment:
+                what = (
+                    f"belongs to experiment "
+                    f"{manifest.get('experiment')!r}, not "
+                    f"{self.experiment!r}"
+                )
+            else:
+                what = (
+                    f"has a different workload fingerprint — "
+                    f"{_workload_diff(manifest.get('workload'), self.workload)}"
+                )
             raise RuntimeModelError(
                 f"cannot resume: the checkpoint at {self.directory} "
-                f"belongs to experiment "
-                f"{manifest.get('experiment')!r} with a different "
-                f"workload fingerprint — refusing to mix results "
+                f"{what}; refusing to mix results "
                 f"(use a fresh --checkpoint directory)"
             )
 

@@ -33,6 +33,7 @@ store up automatically when the caller does not pass one explicitly.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 from repro.errors import RuntimeModelError
@@ -65,6 +66,10 @@ class ResourceManager:
     ) -> None:
         self._synthesis_pools: Dict[int, "TaskPool"] = {}
         self._evaluation_pools: Dict[int, "TaskPool"] = {}
+        # Acquisition and close are lock-guarded: the manager is shared
+        # across `repro serve` handler threads, and a double-spawned
+        # pool would leak worker processes.
+        self._lock = threading.Lock()
         self.store = store
         #: Fault-tolerance knobs handed to every owned pool: per-task
         #: deadline (seconds; None = wait forever) and how many times a
@@ -78,11 +83,12 @@ class ResourceManager:
     def _generic_pool(self, cache: Dict[int, "TaskPool"], jobs: int):
         if jobs < 1:
             raise RuntimeModelError(f"jobs must be positive, got {jobs}")
-        pool = cache.get(jobs)
-        if pool is None:
-            pool = self._spawn_pool(jobs)
-            cache[jobs] = pool
-        return pool
+        with self._lock:
+            pool = cache.get(jobs)
+            if pool is None:
+                pool = self._spawn_pool(jobs)
+                cache[jobs] = pool
+            return pool
 
     def _spawn_pool(self, jobs: int):
         """Spawn one generic pool (separate for spawn-count tests)."""
@@ -127,10 +133,16 @@ class ResourceManager:
         """Terminate every owned pool and close the owned store's
         backend (idempotent; the manager may be used again afterwards
         — pools respawn lazily)."""
-        for cache in (self._synthesis_pools, self._evaluation_pools):
-            for pool in cache.values():
-                pool.close()
-            cache.clear()
+        with self._lock:
+            pools = [
+                pool
+                for cache in (self._synthesis_pools, self._evaluation_pools)
+                for pool in cache.values()
+            ]
+            self._synthesis_pools.clear()
+            self._evaluation_pools.clear()
+        for pool in pools:
+            pool.close()
         if self.store is not None:
             self.store.close()
 

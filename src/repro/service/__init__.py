@@ -1,0 +1,24 @@
+"""Scheduling-as-a-service: the ``repro serve`` HTTP front end.
+
+A stdlib-only JSON service over the same pipeline the CLI drives:
+``POST /v1/schedule`` synthesizes a fault-tolerant schedule tree (the
+response bytes are identical to ``repro schedule``'s output file),
+``POST /v1/evaluate`` runs the Monte-Carlo utility evaluation, and the
+``/healthz`` / ``/readyz`` / ``/metrics`` probes expose liveness,
+degradation (tripped store breaker, degraded worker pool) and the
+store/queue/pool counters.  See :mod:`repro.service.server` for the
+lifecycle and :mod:`repro.service.errors` for the error taxonomy.
+"""
+
+from repro.service.errors import ServiceError
+from repro.service.server import ReproServer, ServiceHandle, serve
+from repro.service.state import ServiceConfig, ServiceState
+
+__all__ = [
+    "ReproServer",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHandle",
+    "ServiceState",
+    "serve",
+]

@@ -1,0 +1,161 @@
+"""The service's typed error taxonomy.
+
+Every failure a request can hit maps to exactly one
+:class:`ServiceError` subclass with a stable machine-readable ``code``
+and an HTTP status, so clients never have to parse prose: a validation
+problem is always ``400``/``invalid-request`` (or
+``invalid-application`` when the model checks of
+:mod:`repro.model.validation` reject the input), an unknown route is
+``404``/``not-found``, an oversized body ``413``/``payload-too-large``,
+a full work queue ``429``/``overloaded`` (with a ``Retry-After``
+hint), a draining server ``503``/``shutting-down``, and a request that
+outlives its wall-clock deadline ``504``/``deadline-exceeded``.
+
+The wire shape is one JSON object::
+
+    {"error": {"code": "overloaded", "message": "...", ...}}
+
+with optional extra fields per subclass (``retry_after`` seconds on
+429, the validation detail on 400).  Anything *not* in the taxonomy —
+a genuine bug in a handler — surfaces as ``500``/``internal`` with the
+exception's repr, never as a dropped connection or an HTML traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class ServiceError(Exception):
+    """Base of the taxonomy: an HTTP status plus a stable code."""
+
+    status: int = 500
+    code: str = "internal"
+
+    def __init__(self, message: str, **extra: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.extra: Dict[str, Any] = extra
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON error document sent on the wire."""
+        body: Dict[str, Any] = {"code": self.code, "message": self.message}
+        body.update(self.extra)
+        return {"error": body}
+
+    def headers(self) -> Dict[str, str]:
+        """Extra response headers (subclasses may add some)."""
+        return {}
+
+
+class ValidationFailed(ServiceError):
+    """The request body is structurally broken: not JSON, not an
+    object, missing or unknown fields, bad config values."""
+
+    status = 400
+    code = "invalid-request"
+
+
+class InvalidApplication(ValidationFailed):
+    """The application decoded fine but failed the model checks of
+    :func:`repro.model.validation.validate_application` (or its
+    dataclass invariants)."""
+
+    code = "invalid-application"
+
+
+class Unschedulable(ServiceError):
+    """The application is valid but no fault-tolerant root schedule
+    meets every hard deadline — a property of the input, not a server
+    fault, hence 422 rather than 500."""
+
+    status = 422
+    code = "unschedulable"
+
+
+class NotFound(ServiceError):
+    status = 404
+    code = "not-found"
+
+
+class MethodNotAllowed(ServiceError):
+    status = 405
+    code = "method-not-allowed"
+
+
+class PayloadTooLarge(ServiceError):
+    status = 413
+    code = "payload-too-large"
+
+
+class Overloaded(ServiceError):
+    """The bounded work queue is full: shed the request now (cheap for
+    everyone) instead of piling up threads until nothing finishes."""
+
+    status = 429
+    code = "overloaded"
+
+    def __init__(
+        self, message: str, retry_after: float = 1.0, **extra: Any
+    ) -> None:
+        super().__init__(message, retry_after=retry_after, **extra)
+        self.retry_after = retry_after
+
+    def headers(self) -> Dict[str, str]:
+        # Ceil to a whole second: Retry-After is delta-seconds per RFC
+        # 9110, and "0" would invite an immediate hammer-loop.
+        return {"Retry-After": str(max(1, int(self.retry_after + 0.999)))}
+
+
+class ShuttingDown(ServiceError):
+    status = 503
+    code = "shutting-down"
+
+    def headers(self) -> Dict[str, str]:
+        return {"Retry-After": "5"}
+
+
+class NotReady(ServiceError):
+    """The readiness probe's 503: the server answers but a dependency
+    is degraded (tripped store breaker, in-process pool fallback)."""
+
+    status = 503
+    code = "not-ready"
+
+
+class DeadlineExceeded(ServiceError):
+    status = 504
+    code = "deadline-exceeded"
+
+
+class Internal(ServiceError):
+    status = 500
+    code = "internal"
+
+
+def from_exception(exc: BaseException) -> ServiceError:
+    """Map an arbitrary handler exception into the taxonomy.
+
+    Library errors keep their meaning (model validation → 400,
+    unschedulable → 422, serialization → 400); anything unrecognized
+    becomes a structured 500 — the server never answers with a raw
+    traceback or a dropped connection.
+    """
+    if isinstance(exc, ServiceError):
+        return exc
+    from repro.errors import (
+        ModelError,
+        RuntimeModelError,
+        SerializationError,
+        UnschedulableError,
+    )
+
+    if isinstance(exc, UnschedulableError):
+        return Unschedulable(str(exc))
+    if isinstance(exc, ModelError):
+        return InvalidApplication(str(exc))
+    if isinstance(exc, (SerializationError, RuntimeModelError)):
+        return ValidationFailed(str(exc))
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        return ValidationFailed(str(exc) or repr(exc))
+    return Internal(f"unhandled {type(exc).__name__}: {exc}")

@@ -1,0 +1,151 @@
+"""Route dispatch: (method, path, body) → a structured response.
+
+This layer is deliberately socket-free — it takes the method, the raw
+path and a body reader, and returns a :class:`Response` — so the whole
+request surface (routing, method checks, body limits, error mapping,
+per-endpoint metrics) is exercised by plain function calls in the test
+suite, with the :mod:`http.server` shell reduced to I/O.
+
+The probes (``/healthz``, ``/readyz``, ``/metrics``) answer inline on
+the connection thread: they must respond instantly even when every
+queue worker is busy — that is the point of a health probe.  The
+compute endpoints (``/v1/schedule``, ``/v1/evaluate``) go through the
+bounded :class:`~repro.service.queue.WorkQueue` and inherit its
+backpressure (429), deadline (504) and drain (503) behavior.
+
+Every exception — taxonomy or not — becomes a structured JSON error
+document; :func:`dispatch` cannot raise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.service.errors import (
+    MethodNotAllowed,
+    NotFound,
+    NotReady,
+    PayloadTooLarge,
+    ServiceError,
+    ShuttingDown,
+    ValidationFailed,
+    from_exception,
+)
+from repro.service.state import ServiceState
+
+
+@dataclass
+class Response:
+    status: int
+    body: bytes
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: Tells the HTTP shell to drop the connection (set when an
+    #: unread request body would desynchronize keep-alive parsing).
+    close_connection: bool = False
+
+
+def _json_response(
+    status: int, document: Any, headers: Optional[Dict[str, str]] = None
+) -> Response:
+    body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+    return Response(status, body, dict(headers or {}))
+
+
+def _error_response(exc: ServiceError) -> Response:
+    response = _json_response(exc.status, exc.payload(), exc.headers())
+    if exc.status == PayloadTooLarge.status:
+        # The oversized body was never read off the socket; reusing
+        # the connection would parse it as the next request.
+        response.close_connection = True
+    return response
+
+
+#: path → {method → handler name}; handlers are ServiceState-driven
+#: closures resolved in :func:`_route`.
+ROUTES: Dict[str, tuple] = {
+    "/healthz": ("GET",),
+    "/readyz": ("GET",),
+    "/metrics": ("GET",),
+    "/v1/schedule": ("POST",),
+    "/v1/evaluate": ("POST",),
+}
+
+
+def dispatch(
+    state: ServiceState,
+    method: str,
+    raw_path: str,
+    content_length: Optional[int],
+    read_body: Callable[[int], bytes],
+) -> Response:
+    """Handle one request; never raises.
+
+    ``read_body(n)`` is called at most once, and only after the
+    declared length passed the ``max_body`` check — an oversized body
+    is rejected without ever buffering it.
+    """
+    started = time.monotonic()
+    path = raw_path.split("?", 1)[0]
+    if len(path) > 1:
+        path = path.rstrip("/") or "/"
+    try:
+        response = _route(state, method, path, content_length, read_body)
+    except ServiceError as exc:
+        response = _error_response(exc)
+    except Exception as exc:  # noqa: BLE001 — the contract: never raise
+        response = _error_response(from_exception(exc))
+    state.note_request(path, response.status, time.monotonic() - started)
+    return response
+
+
+def _route(
+    state: ServiceState,
+    method: str,
+    path: str,
+    content_length: Optional[int],
+    read_body: Callable[[int], bytes],
+) -> Response:
+    allowed = ROUTES.get(path)
+    if allowed is None:
+        raise NotFound(
+            f"no route {path!r} (routes: {', '.join(sorted(ROUTES))})"
+        )
+    if method not in allowed:
+        raise MethodNotAllowed(
+            f"{method} not allowed on {path} (allowed: "
+            f"{', '.join(allowed)})"
+        )
+
+    if path == "/healthz":
+        return _json_response(200, state.health())
+    if path == "/readyz":
+        ready, document = state.readiness()
+        return _json_response(200 if ready else NotReady.status, document)
+    if path == "/metrics":
+        return _json_response(200, state.metrics())
+
+    # Compute endpoints from here on.
+    if state.draining:
+        raise ShuttingDown(
+            "the server is draining and accepts no new requests"
+        )
+    if content_length is None:
+        raise ValidationFailed(
+            "a JSON body with a Content-Length header is required"
+        )
+    if content_length > state.config.max_body:
+        raise PayloadTooLarge(
+            f"declared body of {content_length} bytes exceeds the "
+            f"{state.config.max_body} byte limit"
+        )
+    payload = state.decode_body(read_body(content_length))
+    handler = (
+        state.schedule if path == "/v1/schedule" else state.evaluate
+    )
+    body, headers = state.queue.execute(
+        lambda: handler(payload), timeout=state.config.request_timeout
+    )
+    return Response(200, body, headers)

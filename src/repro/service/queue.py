@@ -1,0 +1,266 @@
+"""The service's bounded work queue: backpressure and deadlines.
+
+A scheduling request costs real CPU (an FTQS build, a Monte-Carlo
+run), so the service must never accept more work than it can finish:
+unbounded thread-per-request servers die exactly the way PR 7's chaos
+harness kills workers — slowly, under load, with every request timing
+out at once.  The queue enforces two limits:
+
+* ``workers`` (``--max-inflight``) — computations running at once.
+  Each worker is one daemon thread; requests beyond that wait;
+* ``max_queue`` (``--max-queue``) — requests allowed to wait.  One
+  more and :meth:`WorkQueue.execute` raises
+  :class:`~repro.service.errors.Overloaded` *immediately* (a 429 with
+  a ``Retry-After`` estimated from the recent task duration), shedding
+  load while the server is still healthy instead of queueing into
+  collapse.
+
+Every request carries a wall-clock **deadline**.  A request that
+expires while still queued is skipped entirely (the worker never
+starts it); one that expires mid-computation gets its 504 right away
+while the worker finishes and discards the result — the computation is
+pure, so discarding is clean, and the abandonment is counted
+(``abandoned``) so capacity loss is visible in ``/metrics``.
+
+Draining for graceful shutdown is :meth:`WorkQueue.drain`: stop
+accepting, wait for queued + running work to finish, then retire the
+workers.  Workers are daemon threads, so even a wedged computation
+(a chaos ``slow-request`` longer than the drain budget) can delay exit
+only up to the drain timeout, never hang it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.service.errors import DeadlineExceeded, Overloaded, ShuttingDown
+
+_PENDING, _RUNNING, _DONE, _EXPIRED = range(4)
+
+
+class _WorkItem:
+    """One queued computation and its completion latch."""
+
+    __slots__ = (
+        "fn", "deadline", "state", "result", "error", "done", "lock",
+    )
+
+    def __init__(self, fn: Callable[[], Any], deadline: Optional[float]):
+        self.fn = fn
+        self.deadline = deadline
+        self.state = _PENDING
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done = threading.Event()
+        self.lock = threading.Lock()
+
+    def try_start(self) -> bool:
+        """Claim the item for execution; False when it expired while
+        queued (the waiter already took its 504 and left)."""
+        with self.lock:
+            if self.state != _PENDING:
+                return False
+            if self.deadline is not None and time.monotonic() > self.deadline:
+                self.state = _EXPIRED
+                return False
+            self.state = _RUNNING
+            return True
+
+    def expire(self) -> str:
+        """The waiter gave up: ``"queued"`` when the item never ran,
+        ``"running"`` when a worker is still burning CPU on it."""
+        with self.lock:
+            if self.state == _PENDING:
+                self.state = _EXPIRED
+                return "queued"
+            return "running"
+
+
+class WorkQueue:
+    """Bounded thread-pool executor with per-request deadlines."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        max_queue: int = 16,
+        name: str = "repro-serve",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.workers = workers
+        self.max_queue = max_queue
+        self._queue: "queue.Queue[Optional[_WorkItem]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._accepting = True
+        self._queued = 0
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
+        # Counters (under _lock); exposed via snapshot().
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.abandoned = 0
+        #: EWMA of recent task durations, seeding the Retry-After hint.
+        self._task_seconds = 0.1
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"{name}-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def execute(
+        self, fn: Callable[[], Any], timeout: Optional[float] = None
+    ) -> Any:
+        """Run ``fn`` on a worker and return its result.
+
+        Raises :class:`Overloaded` when the wait queue is full,
+        :class:`ShuttingDown` after :meth:`drain` began, and
+        :class:`DeadlineExceeded` when ``timeout`` seconds pass before
+        the computation finishes.  Exceptions from ``fn`` propagate.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._lock:
+            if not self._accepting:
+                raise ShuttingDown(
+                    "the server is draining and accepts no new work"
+                )
+            if self._queued >= self.max_queue:
+                self.rejected += 1
+                raise Overloaded(
+                    f"work queue full ({self._queued} waiting, "
+                    f"{self._inflight} running on {self.workers} "
+                    f"worker(s))",
+                    retry_after=self._retry_after_locked(),
+                )
+            self._queued += 1
+            self.submitted += 1
+            item = _WorkItem(fn, deadline)
+            self._queue.put(item)
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - time.monotonic())
+        if not item.done.wait(timeout=remaining):
+            where = item.expire()
+            with self._lock:
+                self.expired += 1
+                if where == "running":
+                    self.abandoned += 1
+                else:
+                    # Never started: it no longer occupies the queue.
+                    self._queued -= 1
+                    self._idle.notify_all()
+            raise DeadlineExceeded(
+                f"request exceeded its {timeout:.3g}s deadline "
+                f"({'still queued' if where == 'queued' else 'computation abandoned'})"
+            )
+        if item.error is not None:
+            raise item.error
+        return item.result
+
+    def _retry_after_locked(self) -> float:
+        # Everything ahead of a retry, paced by recent task duration.
+        backlog = self._queued + self._inflight
+        return max(1.0, self._task_seconds * backlog / self.workers)
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            if not item.try_start():
+                # Expired while queued; the waiter already left (and
+                # decremented the queue) — nothing to account here.
+                item.done.set()
+                continue
+            with self._lock:
+                self._queued -= 1
+                self._inflight += 1
+            start = time.monotonic()
+            try:
+                item.result = item.fn()
+            except Exception as exc:
+                item.error = exc
+            finally:
+                elapsed = time.monotonic() - start
+                with self._lock:
+                    self._inflight -= 1
+                    if item.error is not None:
+                        self.failed += 1
+                    else:
+                        self.completed += 1
+                    self._task_seconds = (
+                        0.8 * self._task_seconds + 0.2 * elapsed
+                    )
+                    self._idle.notify_all()
+                item.done.set()
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests waiting for a worker right now."""
+        with self._lock:
+            return self._queued
+
+    @property
+    def inflight(self) -> int:
+        """Computations running right now."""
+        with self._lock:
+            return self._inflight
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "max_queue": self.max_queue,
+                "depth": self._queued,
+                "inflight": self._inflight,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "abandoned": self.abandoned,
+            }
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop accepting, wait for in-flight work, retire workers.
+
+        Returns ``True`` when everything finished inside ``timeout``;
+        ``False`` when abandoned computations were still running (the
+        workers are daemons, so they cannot block process exit).
+        Idempotent.
+        """
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            self._accepting = False
+            while self._queued or self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(timeout=remaining)
+            clean = not (self._queued or self._inflight)
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        return clean

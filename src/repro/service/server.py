@@ -1,0 +1,212 @@
+"""The HTTP shell: ``ThreadingHTTPServer`` wiring and lifecycle.
+
+Stdlib only (the container bakes no web framework, and the service
+needs none): a :class:`~http.server.ThreadingHTTPServer` gives one
+thread per connection, the bounded
+:class:`~repro.service.queue.WorkQueue` keeps those threads from
+turning into unbounded compute, and :func:`dispatch` does everything
+interesting.  Two entry points:
+
+* :class:`ServiceHandle` — start/stop a server programmatically (the
+  test suite runs real sockets on ephemeral ports through this);
+* :func:`serve` — the blocking ``repro serve`` loop: start, print the
+  bound address, wait for SIGTERM/SIGINT, then shut down gracefully —
+  drain in-flight requests (new ones get 503), close the shared
+  :class:`~repro.pipeline.resources.ResourceManager` exactly once, and
+  return exit code 0.
+
+Graceful shutdown is sequenced so nothing is ever dropped mid-flight:
+
+1. mark the state *draining* — ``/readyz`` flips to 503 so load
+   balancers stop routing here, and new compute POSTs are rejected
+   with 503/``shutting-down`` while the listener keeps answering;
+2. drain the work queue (bounded by ``--drain-timeout``) — requests
+   already computing finish and their responses go out;
+3. wait for the last connection threads to flush, stop the accept
+   loop, close the listening socket, release pools + store.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.handlers import dispatch
+from repro.service.state import ServiceConfig, ServiceState
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default: one access-log line per request belongs to an
+    # external proxy, not a paper-reproduction service's stdout (and
+    # it would interleave garbage into the test harness's output).
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server's casing
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._handle("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    def _handle(self, method: str) -> None:
+        state: ServiceState = self.server.state  # type: ignore[attr-defined]
+        state.http_started()
+        try:
+            declared = self.headers.get("Content-Length")
+            try:
+                content_length = (
+                    int(declared) if declared is not None else None
+                )
+                if content_length is not None and content_length < 0:
+                    content_length = None
+            except ValueError:
+                content_length = None
+            response = dispatch(
+                state, method, self.path, content_length, self.rfile.read
+            )
+            if response.close_connection:
+                self.close_connection = True
+            try:
+                self.send_response(response.status)
+                self.send_header("Content-Type", "application/json")
+                for key, value in response.headers.items():
+                    self.send_header(key, value)
+                self.send_header("Content-Length", str(len(response.body)))
+                if self.close_connection:
+                    self.send_header("Connection", "close")
+                self.end_headers()
+                self.wfile.write(response.body)
+            except (BrokenPipeError, ConnectionResetError):
+                # The client hung up mid-response; its problem, not a
+                # reason to lose the worker thread.
+                self.close_connection = True
+        finally:
+            state.http_finished()
+
+
+class ReproServer(ThreadingHTTPServer):
+    # Handler threads are daemons: a connection wedged beyond the
+    # drain budget can delay exit only until the drain timeout, never
+    # hang the process.  ServiceState.http_* tracking provides the
+    # graceful half (waiting for responses to flush).
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ServiceHandle:
+    """One running service: a real socket, start/stop, scoped cleanup.
+
+    ``port=0`` binds an ephemeral port; :attr:`url` reports the real
+    one.  :meth:`shutdown` runs the full graceful sequence and is
+    idempotent; the context manager form guarantees it.
+    """
+
+    def __init__(self, config: ServiceConfig, state=None) -> None:
+        self.config = config
+        self.state = state if state is not None else ServiceState(config)
+        self.server = ReproServer((config.host, config.port), _Handler)
+        self.server.state = self.state  # type: ignore[attr-defined]
+        self._thread: threading.Thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._shutdown_lock = threading.Lock()
+        self._finished = False
+
+    @property
+    def host(self) -> str:
+        return self.server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceHandle":
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> bool:
+        """The graceful sequence; returns True when fully drained.
+
+        Safe to call from a signal handler's thread and repeatedly —
+        the state's exactly-once close guard and this handle's own
+        lock make every call after the first a no-op.
+        """
+        with self._shutdown_lock:
+            if self._finished:
+                return True
+            self._finished = True
+        self.state.begin_drain()
+        clean = self.state.close()
+        # Let the last connection threads flush their responses (the
+        # queue is already empty; this only covers socket writes).
+        self.state.wait_http_idle(timeout=2.0)
+        self.server.shutdown()
+        self.server.server_close()
+        self._thread.join(timeout=2.0)
+        return clean
+
+    def __enter__(self) -> "ServiceHandle":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def serve(config: ServiceConfig) -> int:
+    """The blocking ``repro serve`` loop; returns the exit code.
+
+    Prints ``serving on http://HOST:PORT`` once the socket is bound
+    (scripts poll for that line, then hit ``/healthz``), then waits
+    for SIGTERM or SIGINT and runs the graceful shutdown — always exit
+    code 0 for a signal-initiated stop, which is what process managers
+    treat as a clean termination.
+    """
+    handle = ServiceHandle(config)
+    stop = threading.Event()
+    received = []
+
+    def _on_signal(signum, frame) -> None:
+        received.append(signum)
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    handle.start()
+    print(f"serving on {handle.url}", flush=True)
+    try:
+        stop.wait()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        started = time.monotonic()
+        clean = handle.shutdown()
+        snapshot = handle.state.queue.snapshot()
+        print(
+            f"shutdown: {'drained' if clean else 'drain timeout'} in "
+            f"{time.monotonic() - started:.2f}s — "
+            f"{snapshot['completed']} request(s) completed, "
+            f"{snapshot['failed']} failed, "
+            f"{snapshot['rejected']} shed",
+            flush=True,
+        )
+    return 0

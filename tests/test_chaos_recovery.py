@@ -317,12 +317,38 @@ class TestCLI:
             main(["experiment", "cc", "--resume"])
         assert "--resume needs --checkpoint" in str(excinfo.value)
 
-    def test_bad_chaos_spec_rejected(self):
+    @pytest.mark.parametrize("spec", [
+        "explode@now",            # unknown token
+        "kill-worker@",           # missing value
+        "slow-request@2x",        # malformed seconds
+        "store-fail@9-3",         # empty range
+        "kill-run",               # no @value at all
+    ])
+    def test_bad_chaos_spec_dies_at_argparse_time(self, capsys, spec):
+        """A chaos typo is a usage error (exit 2) before any experiment
+        state — store, checkpoint, pools — has been touched."""
         from repro.cli import main
 
         with pytest.raises(SystemExit) as excinfo:
-            main(["experiment", "cc", "--chaos", "explode@now"])
-        assert "unknown chaos token" in str(excinfo.value)
+            main(["experiment", "cc", "--chaos", spec])
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "--chaos" in err
+        assert "chaos token" in err
+        assert "Traceback" not in err
+
+    def test_chaos_spec_parsed_once_into_the_namespace(self):
+        from repro.cli import build_parser
+        from repro.pipeline.chaos import ChaosPlan
+
+        args = build_parser().parse_args([
+            "experiment", "cc",
+            "--chaos", "store-fail@2-4,slow-request@1x0.5,seed@7",
+        ])
+        assert isinstance(args.chaos, ChaosPlan)
+        assert args.chaos.store_fail_ops == frozenset({2, 3, 4})
+        assert args.chaos.slow_request == {1: 0.5}
+        assert args.chaos.seed == 7
 
     def test_mismatched_resume_rejected_with_hint(self, tmp_path, capsys):
         from repro.cli import main
@@ -339,4 +365,67 @@ class TestCLI:
                 "experiment", "table1",
                 "--checkpoint", directory, "--resume",
             ])
-        assert "refusing to mix results" in str(excinfo.value)
+        message = str(excinfo.value)
+        assert "refusing to mix results" in message
+        assert directory in message
+        # The wrong-experiment case names both experiments outright.
+        assert "'cc'" in message and "'table1'" in message
+        assert "\n" not in message.replace("error: ", "")
+
+    def test_mismatched_workload_resume_names_the_field(
+        self, tmp_path, capsys
+    ):
+        """Same experiment, different workload: the one-line error
+        names the checkpoint directory and the exact masked config
+        field(s) that differ — never a traceback."""
+        from repro.cli import main
+
+        directory = str(tmp_path / "ckpt")
+        assert main([
+            "experiment", "cc", "--checkpoint", directory,
+        ]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "experiment", "cc", "--paper-scale",
+                "--checkpoint", directory, "--resume",
+            ])
+        message = str(excinfo.value)
+        assert message.startswith("error: cannot resume")
+        assert directory in message
+        assert "differing field(s):" in message
+        assert "n_scenarios" in message  # the knob --paper-scale moves
+        assert "checkpoint 300" in message and "this run 20000" in message
+
+    def test_resume_missing_checkpoint_names_the_directory(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        directory = str(tmp_path / "never-created")
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "experiment", "cc",
+                "--checkpoint", directory, "--resume",
+            ])
+        message = str(excinfo.value)
+        assert message.startswith("error: cannot resume")
+        assert directory in message
+        assert "run once with --checkpoint first" in message
+
+    def test_resume_routing_knob_change_is_accepted(self, tmp_path, capsys):
+        """engine/jobs are masked out of the fingerprint: a checkpoint
+        written under --jobs 2 resumes under --jobs 1 and reuses every
+        journaled unit."""
+        from repro.cli import main
+
+        directory = str(tmp_path / "ckpt")
+        assert main([
+            "experiment", "cc", "--checkpoint", directory, "--jobs", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "experiment", "cc", "--checkpoint", directory, "--resume",
+            "--engine", "reference",
+        ]) == 0
+        assert "1 reused" in capsys.readouterr().out

@@ -130,6 +130,53 @@ class TestArgumentValidation:
         assert "--cache-url only applies" in str(excinfo.value)
 
 
+def test_sigint_exits_130_with_partial_progress_line(tmp_path):
+    """A real Ctrl-C against a real process: once the first unit is
+    journaled, SIGINT must exit 130 with a one-line partial-progress
+    message naming the resume command — no traceback."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    checkpoint = str(tmp_path / "ckpt")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src")
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "experiment", "table1",
+            "--checkpoint", checkpoint,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        journal = os.path.join(checkpoint, "journal.jsonl")
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if os.path.exists(journal) and os.path.getsize(journal) > 0:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("no journal row within 60s")
+        proc.send_signal(signal.SIGINT)
+        _, err = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 130, err
+    (line,) = [l for l in err.strip().splitlines() if l]  # one line only
+    assert line.startswith("interrupted:")
+    assert f"--checkpoint {checkpoint} --resume" in line
+    assert "Traceback" not in err
+
+
 def test_experiment_cache_dir_second_run_all_hits(tmp_path, capsys):
     """The acceptance run: a repeated cached experiment reports 100%
     store hits and zero FTQS builds on the synthesis summary line."""
