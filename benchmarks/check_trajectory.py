@@ -19,11 +19,17 @@ never decay.  ``--baseline best`` selects the strict all-time-best
 comparison for hand audits.
 
 An asserted-floor metric is the ``speedup`` of an axis whose label
-does not contain ``"jobs"``: the job-count comparison axes
-(``cc/compare-jobs``, ``table1/jobs4-vs-jobs1``) depend on how many
-CPUs the box has and are gated inside the benches themselves, so a
-trajectory comparison across heterogeneous machines would be noise,
-not signal.
+does not contain ``"jobs"`` — that covers the engine axes
+(``cc/ftqs-8/f=N``) and the generated-C kernel axes
+(``cc/ftqs-8/f=N/kernel-vs-ref`` and ``.../kernel-vs-batched``).
+The job-count comparison axes (``cc/compare-jobs``,
+``table1/jobs4-vs-jobs1``) depend on how many CPUs the box has and
+are gated inside the benches themselves, so a trajectory comparison
+across heterogeneous machines would be noise, not signal: they are
+*skipped*, never gated, and any historical jobs-comparison row
+recorded on a box with fewer than ``MIN_JOBS_CPUS`` CPUs (each row
+carries the ``cpu_count`` it was measured on) is dropped from
+baselines outright.
 
 Usage (also wired into CI)::
 
@@ -46,10 +52,27 @@ from typing import Dict, List, Tuple
 #: The metric asserted with a floor by the bench suites.
 FLOOR_METRIC = "speedup"
 
+#: Below this CPU count a jobs-comparison measurement is noise
+#: (process parallelism cannot win without cores) and is skipped.
+MIN_JOBS_CPUS = 4
+
 
 def is_floor_axis(label: str) -> bool:
     """True when ``label``'s speedup is floor-asserted by the benches."""
     return "jobs" not in label
+
+
+def is_skipped_row(label: str, row: dict) -> bool:
+    """True for jobs-comparison rows measured on a too-small box.
+
+    Older entries predate the per-axis ``cpu_count`` field; those are
+    kept (the benches of that era only appended the row after passing
+    their own >= 4-CPU gate).
+    """
+    if is_floor_axis(label):
+        return False
+    cpus = row.get("cpu_count")
+    return isinstance(cpus, int) and cpus < MIN_JOBS_CPUS
 
 
 def prior_values(history: List[dict], label: str) -> List[float]:
@@ -57,7 +80,7 @@ def prior_values(history: List[dict], label: str) -> List[float]:
     values = []
     for entry in history:
         for row in entry.get("axes", []):
-            if row.get("label") != label:
+            if row.get("label") != label or is_skipped_row(label, row):
                 continue
             value = row.get(FLOOR_METRIC)
             if isinstance(value, (int, float)):
@@ -114,11 +137,17 @@ def check_file(
     for row in latest.get("axes", []):
         label = row.get("label")
         value = row.get(FLOOR_METRIC)
-        if (
-            not isinstance(label, str)
-            or not is_floor_axis(label)
-            or not isinstance(value, (int, float))
-        ):
+        if not isinstance(label, str):
+            continue
+        if not is_floor_axis(label):
+            cpus = row.get("cpu_count")
+            where = f"on a {cpus}-CPU box" if cpus else "no cpu_count"
+            print(
+                f"{path.name}: {label}: jobs-comparison axis "
+                f"({where}), skipped — gated in the bench itself"
+            )
+            continue
+        if not isinstance(value, (int, float)):
             continue
         result = baseline_of(prior, label, mode, window)
         if result is None:

@@ -1,23 +1,31 @@
-"""Throughput benchmark: reference loop vs batched engine.
+"""Throughput benchmark: reference loop vs batched vs kernel engine.
 
-Measures scenarios/second of both Monte-Carlo engines on the
+Measures scenarios/second of the Monte-Carlo engines on the
 cruise-controller workload (the paper's real-life case study) over the
 *same* scenario sets, asserts the results are bit-identical, and
 asserts speedup floors that keep the paper's 20,000-scenario
 ``--full-scale`` runs practical: 5x on the no-fault axis and 3x on
-every mixed-fault axis (k = 1, 2), where faulted soft processes
-resolve against the compiled §2.2 decision tables instead of the
-reference loop.  A persistent-pool ``compare()`` benchmark checks that
-``jobs=4`` beats ``jobs=1`` on a multi-plan workload (asserted only
-when the box actually has ≥ 4 CPUs).
+every mixed-fault axis (k = 1, 2) for the batched engine, where
+faulted soft processes resolve against the compiled §2.2 decision
+tables instead of the reference loop.  The generated-C kernel axes
+(``cc/.../kernel-vs-*``) time ``engine="kernel"`` against both the
+reference loop and the batched engine with the scenario sets already
+packed — both engines share the packing cost, which the batched axes
+already measure end-to-end — and assert ≥ 2x over batched on the
+mixed-fault axes (they are skipped, with the counted reason, on boxes
+without a C compiler).  A persistent-pool ``compare()`` benchmark
+checks that ``jobs=4`` beats ``jobs=1`` on a multi-plan workload
+(asserted — and recorded in the trajectory — only when the box
+actually has ≥ 4 CPUs, so 1-CPU boxes cannot pollute the history).
 
 Every measured axis is appended to ``BENCH_engine.json`` at the repo
-root — a trajectory artifact: one entry per bench run, so throughput
-history survives across sessions.
+root — a trajectory artifact: one entry per bench run, each axis row
+carrying the ``cpu_count`` it was measured on, so throughput history
+survives across sessions.
 
 A tier-1 smoke slice is marked ``bench_smoke``
-(``pytest -m bench_smoke``): a seconds-long mixed-fault run with a
-loose floor, so fast-path regressions fail fast without
+(``pytest -m bench_smoke``): seconds-long mixed-fault runs with loose
+floors, so fast-path and kernel regressions fail fast without
 ``--full-scale``.
 """
 
@@ -36,6 +44,15 @@ from repro.workloads.cruise import cruise_controller
 bench_smoke = pytest.mark.bench_smoke
 
 _ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _cpus() -> int:
+    """Effective CPU count (affinity-aware, so throttled containers
+    report what they can actually use)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -72,14 +89,17 @@ def trajectory():
     _ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
 
 
-def _time_engine(evaluator, plan, engine, rounds=2):
+def _time_engine(evaluator, plan, engine, rounds=2, repack=True):
     """Best-of-``rounds`` wall time (min damps scheduler noise on
-    loaded boxes).  The batch cache is cleared before every batched
-    round so each one pays the full end-to-end cost, packing included."""
+    loaded boxes).  With ``repack`` (the default) the batch cache is
+    cleared before every round so each one pays the full end-to-end
+    cost, packing included; the kernel axes pass ``repack=False`` to
+    time the engines on already-packed scenario sets."""
     best = None
     outcomes = None
     for _ in range(rounds):
-        evaluator._batches.clear()
+        if repack:
+            evaluator._batches.clear()
         start = time.perf_counter()
         outcomes = evaluator.evaluate(plan, engine=engine)
         elapsed = time.perf_counter() - start
@@ -99,11 +119,31 @@ def _report(label, n_scenarios, n_axes, t_ref, t_bat, rows=None):
             {
                 "label": label,
                 "n_scenarios": total,
+                "cpu_count": _cpus(),
                 "reference_scen_per_s": total / t_ref,
                 "batched_scen_per_s": total / t_bat,
                 "speedup": t_ref / t_bat,
             }
         )
+
+
+def _report_kernel(label, total, t_other, t_ker, other, rows):
+    """One kernel comparison axis (vs ``other``) for the trajectory."""
+    print(
+        f"\n[{label}] {other} {total / t_other:,.0f} scen/s "
+        f"({t_other:.3f}s)  kernel {total / t_ker:,.0f} scen/s "
+        f"({t_ker:.3f}s)  speedup {t_other / t_ker:.1f}x"
+    )
+    rows.append(
+        {
+            "label": label,
+            "n_scenarios": total,
+            "cpu_count": _cpus(),
+            f"{other}_scen_per_s": total / t_other,
+            "kernel_scen_per_s": total / t_ker,
+            "speedup": t_other / t_ker,
+        }
+    )
 
 
 def test_engine_speedup_no_fault_axis(cc_setup, full_scale, trajectory):
@@ -176,6 +216,88 @@ def test_engine_speedup_mixed_fault_axes(cc_setup, full_scale, trajectory):
     )
 
 
+@pytest.fixture(scope="module")
+def kernel_ready(cc_setup):
+    """Skip the kernel axes (with the counted reason) when no kernel
+    can be built on this box; warms the artifact cache otherwise."""
+    from repro.runtime.engine.kernel import KernelSimulator
+
+    app, _, tree = cc_setup
+    simulator = KernelSimulator(app, tree)
+    if simulator.engine_used != "kernel":
+        pytest.skip(
+            f"kernel engine unavailable ({simulator.fallback_reason})"
+        )
+
+
+@pytest.mark.parametrize("faults", [1, 2])
+def test_kernel_speedup_single_fault_axes(
+    cc_setup, full_scale, trajectory, kernel_ready, faults
+):
+    """Generated-C kernel on the mixed-fault axes: >= 2x over batched.
+
+    The kernel walks each scenario once in C instead of stepping
+    cohort arrays through NumPy dispatch, so its edge grows with the
+    decision work per scenario — these are the axes the ROADMAP's
+    compile-the-core item targeted.
+    """
+    app, _, tree = cc_setup
+    n = 20000 if full_scale else 2000
+    evaluator = MonteCarloEvaluator(
+        app, n_scenarios=n, fault_counts=[faults], seed=11
+    )
+    evaluator.evaluate(tree, engine="batched")  # pack once, warm caches
+    by_reference, t_ref = _time_engine(
+        evaluator, tree, "reference", repack=False
+    )
+    by_batch, t_bat = _time_engine(evaluator, tree, "batched", repack=False)
+    by_kernel, t_ker = _time_engine(evaluator, tree, "kernel", repack=False)
+    assert by_reference[faults].utilities == by_kernel[faults].utilities
+    assert by_batch[faults].utilities == by_kernel[faults].utilities
+    assert by_kernel[faults].fallbacks == 0
+    _report_kernel(
+        f"cc/ftqs-8/f={faults}/kernel-vs-ref",
+        n, t_ref, t_ker, "reference", trajectory,
+    )
+    _report_kernel(
+        f"cc/ftqs-8/f={faults}/kernel-vs-batched",
+        n, t_bat, t_ker, "batched", trajectory,
+    )
+    assert t_ker * 2.0 <= t_bat, (
+        f"kernel only {t_bat / t_ker:.1f}x over batched on the "
+        f"f={faults} axis (floor: 2x)"
+    )
+    assert t_ker * 10.0 <= t_ref, (
+        f"kernel only {t_ref / t_ker:.1f}x over the reference loop on "
+        f"the f={faults} axis (floor: 10x)"
+    )
+
+
+def test_kernel_speedup_mixed_fault_axes(
+    cc_setup, full_scale, trajectory, kernel_ready
+):
+    """Combined 0/1/2-fault kernel run: identical results, >= 2x."""
+    app, _, tree = cc_setup
+    n = 20000 if full_scale else 1000
+    evaluator = MonteCarloEvaluator(
+        app, n_scenarios=n, fault_counts=[0, 1, 2], seed=11
+    )
+    evaluator.evaluate(tree, engine="batched")  # pack once, warm caches
+    by_batch, t_bat = _time_engine(evaluator, tree, "batched", repack=False)
+    by_kernel, t_ker = _time_engine(evaluator, tree, "kernel", repack=False)
+    for faults in (0, 1, 2):
+        assert by_batch[faults].utilities == by_kernel[faults].utilities
+        assert by_kernel[faults].fallbacks == 0
+    _report_kernel(
+        "cc/ftqs-8/f=0,1,2/kernel-vs-batched",
+        n * 3, t_bat, t_ker, "batched", trajectory,
+    )
+    assert t_ker * 2.0 <= t_bat, (
+        f"kernel only {t_bat / t_ker:.1f}x over batched on the mixed "
+        "axes (floor: 2x)"
+    )
+
+
 def test_parallel_compare_workload(cc_setup, full_scale, trajectory):
     """Per-plan compare(): jobs=4 must beat jobs=1 (on a >= 4-CPU box).
 
@@ -218,26 +340,29 @@ def test_parallel_compare_workload(cc_setup, full_scale, trajectory):
         f"scen/s ({t_serial:.3f}s)  jobs=4 {total / t_sharded:,.0f} "
         f"scen/s ({t_sharded:.3f}s)"
     )
+    # sched_getaffinity respects cgroup/affinity limits; cpu_count()
+    # reports the host and would assert on throttled containers.
+    cpus = _cpus()
+    if cpus < 4:
+        # Neither gate nor record: a jobs comparison measured without
+        # the cores to parallelize (speedups like 0.43 on a 1-CPU box)
+        # is noise that would pollute the trajectory history.
+        print(f"[cc/compare-jobs] skipped on a {cpus}-CPU box")
+        return
     trajectory.append(
         {
             "label": "cc/compare-jobs",
             "n_scenarios": total,
+            "cpu_count": cpus,
             "jobs1_scen_per_s": total / t_serial,
             "jobs4_scen_per_s": total / t_sharded,
             "speedup": t_serial / t_sharded,
         }
     )
-    # sched_getaffinity respects cgroup/affinity limits; cpu_count()
-    # reports the host and would assert on throttled containers.
-    try:
-        cpus = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        cpus = os.cpu_count() or 1
-    if cpus >= 4:
-        assert t_sharded < t_serial, (
-            f"jobs=4 ({t_sharded:.3f}s) did not beat jobs=1 "
-            f"({t_serial:.3f}s) on a {cpus}-CPU box"
-        )
+    assert t_sharded < t_serial, (
+        f"jobs=4 ({t_sharded:.3f}s) did not beat jobs=1 "
+        f"({t_serial:.3f}s) on a {cpus}-CPU box"
+    )
 
 
 @bench_smoke
@@ -263,4 +388,33 @@ def test_engine_smoke_throughput(cc_setup):
     assert t_bat * 2.0 <= t_ref, (
         f"smoke slice speedup collapsed to {t_ref / t_bat:.1f}x "
         "(floor: 2x) — fast-path coverage regression?"
+    )
+
+
+@bench_smoke
+def test_kernel_smoke_throughput(cc_setup, kernel_ready):
+    """Seconds-long tier-1 kernel slice: >= 2x over batched, identical.
+
+    Exists to fail fast when the generated-C path regresses — either
+    its speed (scenarios leaking to the oracle residual, a codegen
+    pessimization) or its bit identity with the batched engine.
+    """
+    app, _, tree = cc_setup
+    evaluator = MonteCarloEvaluator(
+        app, n_scenarios=400, fault_counts=[0, 1, 2], seed=23
+    )
+    evaluator.evaluate(tree, engine="batched")  # pack once, warm caches
+    by_batch, t_bat = _time_engine(evaluator, tree, "batched", repack=False)
+    by_kernel, t_ker = _time_engine(evaluator, tree, "kernel", repack=False)
+    for faults in (0, 1, 2):
+        assert by_batch[faults].utilities == by_kernel[faults].utilities
+        assert by_kernel[faults].fallbacks == 0
+    print(
+        f"\n[cc/ftqs-8/smoke/kernel] batched {400 * 3 / t_bat:,.0f} "
+        f"scen/s ({t_bat:.3f}s)  kernel {400 * 3 / t_ker:,.0f} scen/s "
+        f"({t_ker:.3f}s)  speedup {t_bat / t_ker:.1f}x"
+    )
+    assert t_ker * 2.0 <= t_bat, (
+        f"kernel smoke slice only {t_bat / t_ker:.1f}x over batched "
+        "(floor: 2x) — generated-C path regression?"
     )

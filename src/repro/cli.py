@@ -417,6 +417,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     app = application_from_dict(load_json(args.application))
     tree = tree_from_dict(app, load_json(args.tree))
+    if args.engine == "kernel":
+        from repro.runtime.engine.kernel import reset_kernel_stats
+
+        reset_kernel_stats()
     evaluator = MonteCarloEvaluator(
         app,
         n_scenarios=args.scenarios,
@@ -425,14 +429,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         engine=args.engine,
         jobs=args.jobs,
     )
-    with evaluator:
+    with _chaos_context(args), evaluator:
         outcomes = evaluator.evaluate(tree)
     for faults, outcome in sorted(outcomes.items()):
         status = "ok" if outcome.ok else "DEADLINE MISSES"
         fast_path = (
             f", fast path {100.0 * outcome.fast_path_share:.1f}% "
             f"({outcome.fallbacks} oracle fallbacks)"
-            if args.engine == "batched"
+            if args.engine in ("batched", "kernel")
             else ""
         )
         print(
@@ -440,6 +444,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{outcome.mean_switches:.2f} switches/cycle"
             f"{fast_path} [{status}]"
         )
+    if args.engine == "kernel":
+        from repro.runtime.engine.kernel import kernel_stats
+
+        print(f"simulate: kernel {kernel_stats().summary()}")
     return 0
 
 
@@ -524,8 +532,10 @@ def _add_chaos_option(parser: argparse.ArgumentParser) -> None:
         "Nth / every A..Bth / K seeded of the first M store ops), "
         "slow-request@N[xS] (wedge the Nth served compute request "
         "for S seconds, default 30), kill-run@N (die after N "
-        "journaled units; exit code 75), budget@N, seed@S; a bad "
-        "token fails at parse time",
+        "journaled units; exit code 75), kernel-fail@N / "
+        "kernel-fail@A-B (fail the Nth / every A..Bth kernel compile "
+        "attempt, degrading to the batched engine), budget@N, "
+        "seed@S; a bad token fails at parse time",
     )
 
 
@@ -533,10 +543,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     """Simulation-engine routing flags shared by the sub-commands."""
     parser.add_argument(
         "--engine",
-        choices=["reference", "batched"],
+        choices=["reference", "batched", "kernel"],
         default="batched",
-        help="Monte-Carlo engine: the pure-Python reference loop or "
-        "the batched array engine (identical results, ~10x faster)",
+        help="Monte-Carlo engine: the pure-Python reference loop, the "
+        "batched array engine, or the generated-C kernel engine "
+        "(identical results, only speed differs; 'kernel' needs a C "
+        "compiler and degrades to 'batched' with a counted reason "
+        "when none is found)",
     )
     parser.add_argument(
         "--jobs",
@@ -682,6 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("tree")
     sim.add_argument("--scenarios", type=int, default=200)
     sim.add_argument("--seed", type=int, default=1)
+    _add_chaos_option(sim)
     _add_engine_options(sim)
     sim.set_defaults(func=_cmd_simulate)
 

@@ -16,7 +16,12 @@ Two interchangeable engines execute the replay:
   :class:`~repro.runtime.engine.simulator.BatchSimulator`, which packs
   each scenario set into a :class:`ScenarioBatch` and is bit-identical
   to the oracle (see ``tests/test_engine_differential.py``) while an
-  order of magnitude faster.
+  order of magnitude faster;
+* ``engine="kernel"`` — the generated-C
+  :class:`~repro.runtime.engine.kernel.KernelSimulator`, which
+  compiles the plan's decision tables to a cached shared object and is
+  bit-identical to both (falling back to the batched engine, with a
+  counted reason, when no C compiler is available).
 
 ``jobs > 1`` additionally shards the scenario range across
 ``multiprocessing`` workers via
@@ -48,7 +53,7 @@ Plan = Union[QSTree, FSchedule]
 #: the reference loop (the whole set, for ``engine="reference"``).
 RawOutcome = Tuple[List[float], int, int, int, int]
 
-ENGINES = ("reference", "batched")
+ENGINES = ("reference", "batched", "kernel")
 
 
 def _check_engine(engine: str) -> str:
@@ -138,8 +143,9 @@ class MonteCarloEvaluator:
     seed:
         Seed of the scenario sampler.
     engine:
-        ``"reference"`` (the oracle event loop) or ``"batched"`` (the
-        array engine); results are identical, only speed differs.
+        ``"reference"`` (the oracle event loop), ``"batched"`` (the
+        array engine) or ``"kernel"`` (the generated-C engine);
+        results are identical, only speed differs.
     jobs:
         Worker processes; ``1`` runs in-process, more shard the
         scenario range deterministically.
@@ -270,14 +276,23 @@ class MonteCarloEvaluator:
         their shard slices.
         """
         engine = self.engine if engine is None else _check_engine(engine)
-        if engine == "batched":
+        if engine in ("batched", "kernel"):
             return self._batched_raw(
-                BatchSimulator(self.app, plan),
+                self._simulator_for(engine, plan),
                 ScenarioBatch.from_scenarios(self.app, scenarios),
             )
         return self._reference_raw(
             OnlineScheduler(self.app, plan, record_events=False), scenarios
         )
+
+    def _simulator_for(self, engine: str, plan: Plan) -> BatchSimulator:
+        """The array-engine simulator for ``engine`` (``run_batch`` duck
+        type; the kernel simulator degrades to batched on its own)."""
+        if engine == "kernel":
+            from repro.runtime.engine.kernel import KernelSimulator
+
+            return KernelSimulator(self.app, plan)
+        return BatchSimulator(self.app, plan)
 
     # ------------------------------------------------------------------
     # Public evaluation API
@@ -300,10 +315,15 @@ class MonteCarloEvaluator:
         if jobs < 1:
             raise RuntimeModelError(f"jobs must be positive, got {jobs}")
         if jobs > 1:
+            if engine == "kernel":
+                # Warm the on-disk artifact cache parent-side so every
+                # worker loads the same prebuilt object instead of
+                # racing to compile it.
+                self._simulator_for(engine, plan)
             return self.parallel(engine, jobs).evaluate(plan)
         outcomes: Dict[int, EvaluationOutcome] = {}
-        if engine == "batched":
-            simulator = BatchSimulator(self.app, plan)
+        if engine in ("batched", "kernel"):
+            simulator = self._simulator_for(engine, plan)
             for faults in self.fault_counts:
                 raw = self._batched_raw(simulator, self._batch_for(faults))
                 outcomes[faults] = EvaluationOutcome.aggregate(*raw)

@@ -76,6 +76,11 @@ class ChaosPlan:
     kill_run_after_rows:
         Raise :class:`ChaosKill` right after this many rows have been
         journaled to the checkpoint.
+    kernel_fail:
+        1-based indices into the process's sequence of kernel compile
+        attempts (``repro.runtime.engine.kernel.build``) that fail
+        deterministically — the simulator then degrades to the NumPy
+        engine with a counted ``"chaos"`` reason, results unchanged.
     kill_budget:
         Optional cap on the *total* number of worker kills/hangs
         delivered, across every map call of the run.
@@ -88,6 +93,7 @@ class ChaosPlan:
     store_fail_ops: FrozenSet[int] = frozenset()
     slow_request: Dict[int, float] = field(default_factory=dict)
     kill_run_after_rows: Optional[int] = None
+    kernel_fail: FrozenSet[int] = frozenset()
     kill_budget: Optional[int] = None
     seed: int = 0
 
@@ -99,6 +105,8 @@ class ChaosPlan:
     rows_journaled: int = 0
     service_requests_seen: int = 0
     slow_requests_injected: int = 0
+    kernel_compiles_seen: int = 0
+    kernel_failures_injected: int = 0
 
     def reset(self) -> None:
         self.kills_delivered = 0
@@ -108,6 +116,8 @@ class ChaosPlan:
         self.rows_journaled = 0
         self.service_requests_seen = 0
         self.slow_requests_injected = 0
+        self.kernel_compiles_seen = 0
+        self.kernel_failures_injected = 0
 
     # ------------------------------------------------------------------
     # Hooks
@@ -157,6 +167,19 @@ class ChaosPlan:
             self.slow_requests_injected += 1
         return delay
 
+    def kernel_compile(self) -> None:
+        """Called before every kernel compiler invocation; raises
+        :class:`RuntimeError` on the scheduled attempts, which the
+        build layer surfaces as a counted ``"chaos"`` degradation to
+        the NumPy engine (results unchanged, speed lost)."""
+        self.kernel_compiles_seen += 1
+        if self.kernel_compiles_seen in self.kernel_fail:
+            self.kernel_failures_injected += 1
+            raise RuntimeError(
+                f"chaos: injected kernel compile failure on attempt "
+                f"{self.kernel_compiles_seen}"
+            )
+
     def row_written(self) -> None:
         """Called after each journaled checkpoint row; raises
         :class:`ChaosKill` once the configured row count is reached.
@@ -183,13 +206,16 @@ class ChaosPlan:
         ``store-fail@~K/N`` (K seeded-random ops among the first N),
         ``slow-request@N`` (wedge the Nth service compute request for
         30 s) / ``slow-request@NxS`` (for S seconds, float),
-        ``kill-run@N`` (after the Nth journaled row), ``budget@N``,
-        ``seed@S``.
+        ``kill-run@N`` (after the Nth journaled row),
+        ``kernel-fail@N`` (the Nth kernel compile attempt) /
+        ``kernel-fail@A-B`` (every attempt in the range),
+        ``budget@N``, ``seed@S``.
         """
         kill_worker: Dict[int, int] = {}
         hang_worker = set()
         store_fail = set()
         slow_request: Dict[int, float] = {}
+        kernel_fail = set()
         random_fail = None
         kill_run = None
         budget = None
@@ -239,6 +265,15 @@ class ChaosPlan:
                     )
                 elif name == "kill-run":
                     kill_run = int(value)
+                elif name == "kernel-fail":
+                    match = re.fullmatch(r"(\d+)(?:-(\d+))?", value)
+                    if not match:
+                        raise ValueError(value)
+                    lo = int(match.group(1))
+                    hi = int(match.group(2) or lo)
+                    if hi < lo:
+                        raise ValueError(f"empty range {lo}-{hi}")
+                    kernel_fail.update(range(lo, hi + 1))
                 elif name == "budget":
                     budget = int(value)
                 elif name == "seed":
@@ -247,7 +282,8 @@ class ChaosPlan:
                     raise ValueError(
                         f"unknown chaos token {name!r} (know "
                         f"kill-worker, hang-worker, store-fail, "
-                        f"slow-request, kill-run, budget, seed)"
+                        f"slow-request, kill-run, kernel-fail, "
+                        f"budget, seed)"
                     )
             except ValueError as exc:
                 if "chaos token" in str(exc):
@@ -265,6 +301,7 @@ class ChaosPlan:
             store_fail_ops=frozenset(store_fail),
             slow_request=slow_request,
             kill_run_after_rows=kill_run,
+            kernel_fail=frozenset(kernel_fail),
             kill_budget=budget,
             seed=seed,
         )

@@ -1,0 +1,51 @@
+"""Generated-C simulator kernels (``engine="kernel"``).
+
+The batched NumPy engine already executes compiled tables; this
+package compiles those tables the rest of the way down.  Per plan,
+:mod:`~repro.runtime.engine.kernel.codegen` emits a self-contained
+C99 translation unit reproducing the oracle's integer arithmetic and
+IEEE-754 accumulation order exactly,
+:mod:`~repro.runtime.engine.kernel.build` compiles it with the system
+C compiler into a content-addressed shared-object cache, and
+:mod:`~repro.runtime.engine.kernel.dispatch` loads it with ``ctypes``
+behind the same ``run_batch`` contract as
+:class:`~repro.runtime.engine.simulator.BatchSimulator` — falling
+back to the NumPy engine, with a counted reason, whenever a kernel
+cannot be produced.  Results are bit-identical across all three
+engines (asserted by ``tests/test_engine_differential.py``); only
+speed differs.
+"""
+
+from repro.runtime.engine.kernel.build import (
+    KernelBuildError,
+    cache_dir,
+    compile_kernel,
+    find_compiler,
+)
+from repro.runtime.engine.kernel.codegen import (
+    CODEGEN_VERSION,
+    KernelUnsupported,
+    generate_kernel_source,
+    plan_fingerprint,
+)
+from repro.runtime.engine.kernel.dispatch import (
+    KernelSimulator,
+    KernelStats,
+    kernel_stats,
+    reset_kernel_stats,
+)
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "KernelBuildError",
+    "KernelSimulator",
+    "KernelStats",
+    "KernelUnsupported",
+    "cache_dir",
+    "compile_kernel",
+    "find_compiler",
+    "generate_kernel_source",
+    "kernel_stats",
+    "plan_fingerprint",
+    "reset_kernel_stats",
+]

@@ -1,0 +1,196 @@
+"""Compile and cache generated kernels as ctypes shared objects.
+
+The artifact cache is content-addressed exactly like the tree store:
+``<fingerprint>.c`` / ``<fingerprint>.so`` under one directory, every
+write going through ``mkstemp`` + ``os.replace`` so concurrent
+processes (the ``jobs=N`` workers all building the same plan) either
+win the atomic rename or reuse the winner's file — never observe a
+torn artifact.  The fingerprint is
+:func:`~repro.runtime.engine.kernel.codegen.plan_fingerprint` (plan
+tables + codegen version), so a warm cache skips code generation and
+compilation entirely, and a codegen bump can never load a stale
+object.
+
+Compilation uses the system C compiler — ``$REPRO_CC``, ``$CC`` or
+the first of ``cc``/``gcc``/``clang`` on PATH — with
+``-O2 -std=c99 -fPIC -shared -ffp-contract=off``: no fused
+multiply-adds, no reassociation, so the kernel's float stream stays
+operation-for-operation identical to the NumPy engine's.  A missing
+compiler or a failed compile raises :class:`KernelBuildError`; the
+dispatcher turns that into a counted fallback to the NumPy engine,
+never an error for the caller.
+
+The deterministic chaos hook ``kernel-fail@N`` (see
+:mod:`repro.pipeline.chaos`) fails the Nth compile attempt of the
+process, pinning the degradation path in tests and CI.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+#: Flags that keep the generated code's float semantics exactly IEEE:
+#: no contraction (FMA would change rounding), strict C99.
+CFLAGS = ("-O2", "-std=c99", "-fPIC", "-shared", "-ffp-contract=off")
+
+
+class KernelBuildError(Exception):
+    """Kernel compilation is unavailable or failed.
+
+    ``reason`` is the short counter label the dispatcher surfaces:
+    ``"no-compiler"``, ``"compile-failed"`` or ``"load-failed"``.
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+def find_compiler() -> Optional[str]:
+    """The C compiler to use, or ``None`` when none is available.
+
+    ``$REPRO_CC`` overrides everything (and may name an absent
+    compiler, which the no-compiler tests use to force the fallback
+    deterministically); otherwise ``$CC``, then the conventional
+    names in PATH order.
+    """
+    override = os.environ.get("REPRO_CC")
+    if override is not None:
+        return shutil.which(override)
+    cc = os.environ.get("CC")
+    if cc:
+        found = shutil.which(cc)
+        if found:
+            return found
+    for name in ("cc", "gcc", "clang"):
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def cache_dir() -> Path:
+    """The on-disk artifact cache directory (created on demand).
+
+    ``$REPRO_KERNEL_CACHE`` overrides the default
+    ``~/.cache/repro-kernels``.
+    """
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        root = Path(override)
+    else:
+        base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+            os.path.expanduser("~"), ".cache"
+        )
+        root = Path(base) / "repro-kernels"
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``path`` via a same-directory temp file + atomic rename."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+
+
+def _chaos_compile_hook() -> None:
+    """Consult the active chaos plan before invoking the compiler.
+
+    A scheduled ``kernel-fail@N`` raises, which is surfaced as a
+    :class:`KernelBuildError` with the counted reason ``"chaos"`` —
+    the same degradation path a real compiler failure takes.
+    """
+    from repro.pipeline import chaos
+
+    plan = chaos.current()
+    if plan is None:
+        return
+    try:
+        plan.kernel_compile()
+    except RuntimeError as exc:
+        raise KernelBuildError("chaos", str(exc)) from exc
+
+
+def compile_kernel(source: str, fingerprint: str) -> Path:
+    """Ensure ``<fingerprint>.so`` exists in the cache; return its path.
+
+    Returns without compiling when the object is already cached (the
+    caller counts that as a cache hit by checking
+    :func:`cached_object` first).  Writes the generated source next to
+    the object for debuggability, compiles into a temp file and
+    atomically renames — a concurrent builder of the same fingerprint
+    produces a byte-equivalent object, so whichever rename lands last
+    is as good as the first.
+    """
+    root = cache_dir()
+    so_path = root / f"{fingerprint}.so"
+    if so_path.exists():
+        return so_path
+    compiler = find_compiler()
+    if compiler is None:
+        raise KernelBuildError(
+            "no-compiler",
+            "no C compiler found (set $REPRO_CC/$CC or install cc)",
+        )
+    _chaos_compile_hook()
+    c_path = root / f"{fingerprint}.c"
+    _atomic_write_bytes(c_path, source.encode("utf-8"))
+    fd, tmp = tempfile.mkstemp(dir=str(root), suffix=".so.tmp")
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [compiler, *CFLAGS, "-o", tmp, str(c_path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            raise KernelBuildError(
+                "compile-failed",
+                f"{compiler} exited {proc.returncode}: "
+                f"{proc.stderr.strip()[:500]}",
+            )
+        os.replace(tmp, so_path)
+    except KernelBuildError:
+        raise
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise KernelBuildError(
+            "compile-failed", f"compiler invocation failed: {exc}"
+        ) from exc
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+    return so_path
+
+
+def cached_object(fingerprint: str) -> Optional[Path]:
+    """The cached shared object for ``fingerprint``, if present."""
+    path = cache_dir() / f"{fingerprint}.so"
+    return path if path.exists() else None
+
+
+def load_kernel(so_path: Path):
+    """Load a built kernel; returns the ``ctypes`` library handle."""
+    try:
+        return ctypes.CDLL(str(so_path))
+    except OSError as exc:
+        raise KernelBuildError(
+            "load-failed", f"could not load {so_path}: {exc}"
+        ) from exc

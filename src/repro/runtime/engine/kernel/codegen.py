@@ -1,0 +1,785 @@
+"""Per-plan C code generation for the compiled simulator kernel.
+
+:func:`generate_kernel_source` lowers one compiled plan — the
+:class:`~repro.runtime.engine.compile.CompiledApplication` /
+:class:`~repro.runtime.engine.compile.CompiledTree` pair plus its
+:class:`~repro.runtime.engine.decisions.DecisionTables` — into a
+self-contained C99 translation unit that executes whole scenario
+batches.  The generated ``rk_run`` walks each scenario exactly the way
+the oracle does, but against baked tables:
+
+* segment advancement is the closed form of the batched engine
+  (duration prefix sums, hard-fault re-execution and recovery terms,
+  the per-position ``entry_mu`` hoisted to a compile-time constant);
+* arc matching scans each position's arcs in the pre-sorted
+  ``(-required_faults, target)`` order, so the first hit reproduces
+  the oracle's most-fault-specific tie-break;
+* the §2.2 drop/re-execute decision steps attempt by attempt against
+  the compiled integer thresholds, and evaluates the keep-vs-drop
+  benefit comparison directly — stale-value coefficients from the
+  baked dependence graph, utility terms in the oracle's order, every
+  float constant shipped as an exact C99 hex literal — so the float
+  stream is operation-for-operation the oracle's own.
+
+Scenarios the NumPy engine routes to the oracle today (malformed
+trees revisiting executed/dropped processes, probes the oracle's own
+validation would reject, fault counts beyond the compiled attempt
+tables) set a per-scenario fallback flag instead of computing a wrong
+answer; the dispatcher replays exactly those scenarios on the oracle,
+preserving both results and raises.
+
+Everything here is deterministic: the same plan compiles to the same
+source text, which is what the on-disk artifact cache fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, Tuple
+
+from repro.io.ctables import (
+    c_double,
+    c_int,
+    render_double_array,
+    render_int_array,
+    render_u64_array,
+)
+from repro.runtime.engine.compile import CompiledApplication, CompiledTree
+from repro.runtime.engine.decisions import DecisionTables
+from repro.utility.functions import (
+    ConstantUtility,
+    LinearUtility,
+    StepUtility,
+    TabulatedUtility,
+)
+
+#: Bumped whenever the generated code (or the meaning of any baked
+#: table) changes; part of the artifact-cache fingerprint, so stale
+#: shared objects can never be loaded against newer dispatch code.
+CODEGEN_VERSION = 1
+
+#: Exported entry points of every generated kernel.
+RUN_SYMBOL = "rk_run"
+LAYOUT_SYMBOL = "rk_layout"
+
+#: ``rk_layout`` query indices (keep in sync with the C switch).
+LAYOUT_ABI = 0
+LAYOUT_N_PROCESSES = 1
+LAYOUT_N_NODES = 2
+LAYOUT_CHAIN_CAP = 3
+
+
+class KernelUnsupported(Exception):
+    """The plan lies outside what the kernel generator can express.
+
+    ``reason`` is the short counter label the dispatcher surfaces
+    (e.g. ``"unsupported-utility"``); the message carries the detail.
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# Utility-function lowering
+# ----------------------------------------------------------------------
+def _utility_spec(utility) -> Tuple:
+    """A picklable/printable lowering of one utility function.
+
+    Mirrors :func:`repro.runtime.engine.compile.utility_evaluator`
+    case for case; an unknown subclass raises — the dispatcher then
+    falls back to the NumPy engine for the whole plan (which itself
+    handles unknown subclasses via a scalar loop).
+    """
+    if utility is None:
+        return ("zero",)
+    if isinstance(utility, StepUtility):
+        steps = utility.steps
+        return (
+            "table",
+            tuple(int(t) for t, _ in steps),
+            tuple(
+                c_double(v)
+                for v in [utility.initial] + [v for _, v in steps]
+            ),
+            "left",
+        )
+    if isinstance(utility, ConstantUtility):
+        if utility.cutoff is None:
+            return ("const", c_double(utility.value))
+        return (
+            "table",
+            (int(utility.cutoff),),
+            (c_double(utility.value), c_double(0.0)),
+            "left",
+        )
+    if isinstance(utility, TabulatedUtility):
+        samples = utility.samples
+        return (
+            "table",
+            tuple(int(t) for t, _ in samples),
+            tuple(
+                c_double(v)
+                for v in [samples[0][1]] + [v for _, v in samples]
+            ),
+            "right",
+        )
+    if isinstance(utility, LinearUtility):
+        return ("linear", c_double(utility.u0), c_double(utility.slope))
+    raise KernelUnsupported(
+        "unsupported-utility",
+        f"utility {type(utility).__name__} has no kernel lowering",
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural fingerprint
+# ----------------------------------------------------------------------
+def plan_fingerprint(capp: CompiledApplication, ctree: CompiledTree) -> str:
+    """SHA-256 over everything the generated source depends on.
+
+    Cheap by construction — no schedulability probes are forced — so a
+    warm artifact cache skips code generation entirely.  Covers the
+    codegen version, the application tables (timing, utility
+    parameters as exact hex, the dependence graph in its deterministic
+    iteration order) and every node's schedule/arc/static-drop state;
+    two plans with equal fingerprints generate identical C.
+    """
+    app = capp.app
+    processes = tuple(
+        (
+            name,
+            int(capp.mu[i]),
+            bool(capp.is_hard[i]),
+            int(capp.deadline[i]),
+            int(app.process(name).aet),
+            _utility_spec(app.process(name).utility),
+        )
+        for i, name in enumerate(capp.names)
+    )
+    graph = tuple(
+        (name, tuple(app.graph.predecessors(name)))
+        for name in app.graph.topological_order()
+    )
+    nodes = tuple(
+        (
+            nid,
+            tuple(
+                (e.name, int(e.reexecutions))
+                for e in ctree.nodes[nid].schedule.entries
+            ),
+            ctree.nodes[nid].arcs_at,
+            tuple(sorted(ctree.nodes[nid].schedule.all_dropped)),
+            repr(ctree.nodes[nid].schedule.slack_sharing),
+        )
+        for nid in sorted(ctree.nodes)
+    )
+    spec = (
+        CODEGEN_VERSION,
+        int(app.period),
+        int(app.k),
+        processes,
+        graph,
+        int(ctree.root_id),
+        nodes,
+    )
+    return hashlib.sha256(repr(spec).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Source generation
+# ----------------------------------------------------------------------
+def _mask_words(pids: Sequence[int], n_words: int) -> List[int]:
+    words = [0] * n_words
+    for pid in pids:
+        words[pid >> 6] |= 1 << (pid & 63)
+    return words
+
+
+def _utility_function(capp: CompiledApplication) -> List[str]:
+    """The shared ``rk_util(pid, t)`` dispatch and its tables."""
+    app = capp.app
+    tables: List[str] = []
+    cases: List[str] = []
+    for pid, name in enumerate(capp.names):
+        spec = _utility_spec(app.process(name).utility)
+        kind = spec[0]
+        if kind == "zero":
+            continue
+        if kind == "const":
+            cases.append(f"    case {pid}: /* {name} */")
+            cases.append(f"        return {spec[1]};")
+            continue
+        if kind == "linear":
+            _, u0, slope = spec
+            cases.append(f"    case {pid}: {{ /* {name} */")
+            cases.append(
+                f"        double v = {u0} - {slope} * (double)t;"
+            )
+            cases.append("        return v > 0.0 ? v : 0.0;")
+            cases.append("    }")
+            continue
+        _, bounds, values, side = spec
+        tables += render_int_array(f"rk_ub_{pid}", bounds)
+        tables += render_array_of_literals(f"rk_uv_{pid}", values)
+        op = "<" if side == "left" else "<="
+        cases.append(f"    case {pid}: {{ /* {name}, side={side} */")
+        cases.append("        int64_t i = 0;")
+        cases.append(
+            f"        while (i < {len(bounds)} && rk_ub_{pid}[i] {op} t)"
+            " i++;"
+        )
+        cases.append(f"        return rk_uv_{pid}[i];")
+        cases.append("    }")
+    lines = tables + [
+        "",
+        "static double rk_util(int64_t pid, int64_t t)",
+        "{",
+        "    (void)t;",
+        "    switch (pid) {",
+    ]
+    lines += cases
+    lines += [
+        "    default:",
+        "        break;",
+        "    }",
+        "    return 0.0;",
+        "}",
+    ]
+    return lines
+
+
+def render_array_of_literals(name: str, literals: Sequence[str]) -> List[str]:
+    """A double array from already-rendered hex literals."""
+    from repro.io.ctables import render_array
+
+    return render_array(name, "double", list(literals), per_line=4)
+
+
+def generate_kernel_source(
+    capp: CompiledApplication,
+    ctree: CompiledTree,
+    tables: DecisionTables,
+) -> str:
+    """Render the complete kernel translation unit for one plan.
+
+    Forces every schedulability threshold the kernel can consult
+    (attempts ``0..min(cap, k)-1`` per soft position, budgets
+    ``0..k``) out of ``tables`` — the expensive part of generation,
+    which the artifact cache amortizes across runs and workers.
+    """
+    app = capp.app
+    n_proc = capp.n_processes
+    n_words = (n_proc + 63) // 64
+    k = int(app.k)
+    period = int(app.period)
+
+    node_ids = sorted(ctree.nodes)
+    dense = {nid: i for i, nid in enumerate(node_ids)}
+    n_nodes = len(node_ids)
+
+    # ---- graph tables for in-kernel stale coefficients ----
+    topo = [capp.index[name] for name in app.graph.topological_order()]
+    pred_off = [0]
+    pred_flat: List[int] = []
+    pred_div: List[float] = []
+    for pid in range(n_proc):
+        preds = [
+            capp.index[p]
+            for p in app.graph.predecessors(capp.names[pid])
+        ]
+        pred_flat += preds
+        pred_off.append(len(pred_flat))
+        pred_div.append(float(1 + len(preds)))
+
+    # ---- per-node / per-entry tables ----
+    ent_off = [0]
+    ent_pid: List[int] = []
+    ent_cap: List[int] = []
+    ent_mu: List[int] = []
+    ent_natt: List[int] = []
+    thr_off = [0]
+    thr_flat: List[int] = []
+    arc_off = [0]
+    arc_flat: List[Tuple[int, int, int, int]] = []
+    kt_off = [0]
+    kt_pid: List[int] = []
+    kt_del: List[int] = []
+    dt_off = [0]
+    dt_pid: List[int] = []
+    dt_del: List[int] = []
+    hardprobe_words: List[int] = []
+    ext_words: List[int] = []
+    node_mask_words: List[int] = []
+    sdrop_words: List[int] = []
+
+    for nid in node_ids:
+        node = ctree.nodes[nid]
+        schedule = node.schedule
+        node_mask_words += _mask_words(
+            [int(i) for i in node.entry_ids], n_words
+        )
+        sdrop_words += _mask_words(
+            sorted(capp.index[n] for n in schedule.all_dropped), n_words
+        )
+        for pos in range(node.n_entries):
+            pid = int(node.entry_ids[pos])
+            cap = int(node.entry_caps[pos])
+            ent_pid.append(pid)
+            ent_cap.append(cap)
+            ent_mu.append(int(node.entry_mu[pos]))
+            soft = not bool(capp.is_hard[pid])
+            natt = min(cap, k) if soft else 0
+            ent_natt.append(natt)
+            for attempt in range(natt):
+                thr_flat += [
+                    int(t)
+                    for t in tables.sched_thresholds(nid, pos, attempt)
+                ]
+            thr_off.append(len(thr_flat))
+            for lo, hi, required, target in node.arcs_at[pos]:
+                if target not in dense:
+                    raise KernelUnsupported(
+                        "unsupported-plan",
+                        f"arc targets node {target} outside the tree",
+                    )
+                arc_flat.append(
+                    (int(lo), int(hi), int(required), dense[target])
+                )
+            arc_off.append(len(arc_flat))
+            if soft:
+                info = tables.probe_info(nid, pos)
+                hardprobe_words += _mask_words(
+                    sorted(info.hard_in_probe), n_words
+                )
+                ext_words += _mask_words(
+                    sorted(info.external_hard_preds), n_words
+                )
+                entry = schedule.entries[pos]
+                entry_proc = app.process(entry.name)
+                mu_e = app.recovery_overhead(entry.name)
+                kt_pid.append(pid)
+                kt_del.append(mu_e + entry_proc.aet)
+                tail = 0
+                for later in schedule.entries[pos + 1 :]:
+                    later_proc = app.process(later.name)
+                    tail += later_proc.aet
+                    if not later_proc.is_soft:
+                        continue
+                    lpid = capp.index[later.name]
+                    kt_pid.append(lpid)
+                    kt_del.append(mu_e + entry_proc.aet + tail)
+                    dt_pid.append(lpid)
+                    dt_del.append(tail)
+            else:
+                hardprobe_words += [0] * n_words
+                ext_words += [0] * n_words
+            kt_off.append(len(kt_pid))
+            dt_off.append(len(dt_pid))
+        ent_off.append(len(ent_pid))
+
+    lines: List[str] = [
+        "/* Generated by repro.runtime.engine.kernel.codegen "
+        f"v{CODEGEN_VERSION}.",
+        f" * Plan: {n_nodes} node(s), {n_proc} processes, period "
+        f"{period}, k = {k}.",
+        " * Bit-identical to the reference OnlineScheduler; do not "
+        "edit. */",
+        "#include <stdint.h>",
+        "",
+        f"#define RK_N_PROC {n_proc}",
+        f"#define RK_N_NODES {n_nodes}",
+        f"#define RK_NW {n_words}",
+        f"#define RK_K {k}",
+        f"#define RK_PERIOD {c_int(period)}",
+        f"#define RK_ROOT {dense[ctree.root_id]}",
+        "#define RK_CHAIN_CAP (RK_N_NODES + 1)",
+        "",
+        "typedef struct rk_arc {",
+        "    int64_t lo;",
+        "    int64_t hi;",
+        "    int64_t required;",
+        "    int64_t target;",
+        "} rk_arc;",
+        "",
+    ]
+
+    lines += render_int_array(
+        "rk_is_hard", [int(bool(h)) for h in capp.is_hard]
+    )
+    lines += render_int_array(
+        "rk_deadline", [int(d) for d in capp.deadline]
+    )
+    lines += render_u64_array(
+        "rk_hard_mask",
+        _mask_words([int(i) for i in capp.hard_ids], n_words),
+    )
+    lines += render_u64_array(
+        "rk_soft_mask",
+        _mask_words([int(i) for i in capp.soft_ids], n_words),
+    )
+    lines += render_int_array("rk_topo", topo)
+    lines += render_int_array("rk_pred_off", pred_off)
+    lines += render_int_array("rk_pred", pred_flat)
+    lines += render_double_array("rk_pred_div", pred_div)
+    lines.append("")
+    lines += _utility_function(capp)
+    lines.append("")
+    lines += render_int_array("rk_node_orig", node_ids)
+    lines += render_u64_array("rk_node_mask", node_mask_words)
+    lines += render_u64_array("rk_node_sdrop", sdrop_words)
+    lines += render_int_array("rk_ent_off", ent_off)
+    lines += render_int_array("rk_ent_pid", ent_pid)
+    lines += render_int_array("rk_ent_cap", ent_cap)
+    lines += render_int_array("rk_ent_mu", ent_mu)
+    lines += render_int_array("rk_ent_natt", ent_natt)
+    lines += render_int_array("rk_ent_thr_off", thr_off)
+    lines += render_int_array("rk_thr", thr_flat)
+    lines += render_int_array("rk_ent_arc_off", arc_off)
+    if arc_flat:
+        lines.append(f"static const rk_arc rk_arcs[{len(arc_flat)}] = {{")
+        for lo, hi, required, target in arc_flat:
+            lines.append(
+                f"    {{{c_int(lo)}, {c_int(hi)}, {c_int(required)}, "
+                f"{c_int(target)}}},"
+            )
+        lines.append("};")
+    else:
+        lines.append(
+            "static const rk_arc rk_arcs[1] = {{0, 0, 0, 0}};"
+        )
+    lines += render_u64_array("rk_ent_hardprobe", hardprobe_words)
+    lines += render_u64_array("rk_ent_ext", ext_words)
+    lines += render_int_array("rk_ent_kt_off", kt_off)
+    lines += render_int_array("rk_kt_pid", kt_pid)
+    lines += render_int_array("rk_kt_del", kt_del)
+    lines += render_int_array("rk_ent_dt_off", dt_off)
+    lines += render_int_array("rk_dt_pid", dt_pid)
+    lines += render_int_array("rk_dt_del", dt_del)
+
+    lines += _RUNTIME.splitlines()
+    return "\n".join(lines) + "\n"
+
+
+#: The plan-independent runtime: mask helpers, stale coefficients, the
+#: benefit comparison, the per-scenario walk and the batch entry point.
+#: Kept as one literal so the control flow reads like the oracle's.
+_RUNTIME = r"""
+static int rk_mask_and_any(const uint64_t *a, const uint64_t *b)
+{
+    int64_t w;
+    for (w = 0; w < RK_NW; w++) {
+        if (a[w] & b[w]) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+static int rk_mask_sub_any(const uint64_t *a, const uint64_t *b)
+{
+    int64_t w;
+    for (w = 0; w < RK_NW; w++) {
+        if (a[w] & ~b[w]) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+static int rk_missing_hard(const uint64_t *hardprobe,
+                           const uint64_t *completed)
+{
+    int64_t w;
+    for (w = 0; w < RK_NW; w++) {
+        if (rk_hard_mask[w] & ~hardprobe[w] & ~completed[w]) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+/* Stale-value coefficients, the oracle's exact float walk: alpha = 0
+ * for dropped processes, 1 for sources, else (1 + sum of predecessor
+ * alphas in graph order) / (1 + n_preds). */
+static void rk_alphas(const uint64_t *dropped, double *alpha)
+{
+    int64_t i, j, pid, lo, hi;
+    double s;
+    for (i = 0; i < RK_N_PROC; i++) {
+        pid = rk_topo[i];
+        if ((dropped[pid >> 6] >> (pid & 63)) & 1u) {
+            alpha[pid] = 0.0;
+            continue;
+        }
+        lo = rk_pred_off[pid];
+        hi = rk_pred_off[pid + 1];
+        if (hi == lo) {
+            alpha[pid] = 1.0;
+            continue;
+        }
+        s = 0.0;
+        for (j = lo; j < hi; j++) {
+            s += alpha[rk_pred[j]];
+        }
+        alpha[pid] = (1.0 + s) / rk_pred_div[pid];
+    }
+}
+
+/* The keep-vs-drop benefit comparison at one fault clock: terms in
+ * the oracle's order, each gated by the period, accumulated with the
+ * oracle's operation sequence. */
+static int rk_benefit(int64_t e, int64_t entry_pid,
+                      const uint64_t *dropped, const uint64_t *sdrop,
+                      int64_t clock)
+{
+    uint64_t keepm[RK_NW];
+    uint64_t dropm[RK_NW];
+    double ka[RK_N_PROC];
+    double da[RK_N_PROC];
+    double keep_total = 0.0;
+    double drop_total = 0.0;
+    int64_t w, j, t;
+    for (w = 0; w < RK_NW; w++) {
+        keepm[w] = dropped[w] | sdrop[w];
+        dropm[w] = keepm[w];
+    }
+    dropm[entry_pid >> 6] |= (uint64_t)1 << (entry_pid & 63);
+    rk_alphas(keepm, ka);
+    rk_alphas(dropm, da);
+    for (j = rk_ent_kt_off[e]; j < rk_ent_kt_off[e + 1]; j++) {
+        t = clock + rk_kt_del[j];
+        if (t <= RK_PERIOD) {
+            keep_total = keep_total
+                + ka[rk_kt_pid[j]] * rk_util(rk_kt_pid[j], t);
+        }
+    }
+    for (j = rk_ent_dt_off[e]; j < rk_ent_dt_off[e + 1]; j++) {
+        t = clock + rk_dt_del[j];
+        if (t <= RK_PERIOD) {
+            drop_total = drop_total
+                + da[rk_dt_pid[j]] * rk_util(rk_dt_pid[j], t);
+        }
+    }
+    return keep_total > drop_total;
+}
+
+static void rk_run_one(const int64_t *dur, const int64_t *faults,
+                       int64_t width, double *util, uint8_t *miss,
+                       int64_t *swc, int64_t *fobs, int64_t *chain,
+                       uint8_t *fb)
+{
+    uint64_t completed[RK_NW];
+    uint64_t dropped[RK_NW];
+    int64_t comp_pid[RK_N_PROC];
+    int64_t comp_time[RK_N_PROC];
+    int64_t n_comp = 0;
+    int64_t clock = 0;
+    int64_t observed = 0;
+    int64_t node = RK_ROOT;
+    int64_t chain_len = 0;
+    int64_t w;
+    for (w = 0; w < RK_NW; w++) {
+        completed[w] = 0;
+        dropped[w] = 0;
+    }
+    for (;;) {
+        const uint64_t *nmask = rk_node_mask + node * RK_NW;
+        const uint64_t *sdrop = rk_node_sdrop + node * RK_NW;
+        int64_t base, len, pos;
+        int switched = 0;
+        /* Node-arrival bail-outs: a malformed tree revisiting
+         * executed or dropped processes is outside the fast path's
+         * state model -- the oracle handles those scenarios. */
+        if (chain_len > RK_N_NODES
+            || rk_mask_and_any(nmask, completed)
+            || rk_mask_and_any(nmask, dropped)) {
+            *fb = 1;
+            return;
+        }
+        base = rk_ent_off[node];
+        len = rk_ent_off[node + 1] - base;
+        for (pos = 0; pos < len; pos++) {
+            int64_t e = base + pos;
+            int64_t pid = rk_ent_pid[e];
+            int64_t f = faults[pid];
+            const int64_t *d = dur + pid * width;
+            int64_t mu = rk_ent_mu[e];
+            int64_t j;
+            if (f > 0 && !rk_is_hard[pid]) {
+                /* ---- section 2.2 decision stepping ---- */
+                int64_t cap = rk_ent_cap[e];
+                int64_t cum = 0;
+                int64_t a;
+                int hard_missing = 0;
+                int did_drop = 0;
+                if (cap > 0) {
+                    if (rk_mask_sub_any(rk_ent_ext + e * RK_NW,
+                                        completed)) {
+                        /* The oracle's probe constructor would raise
+                         * here; replay the scenario on it. */
+                        *fb = 1;
+                        return;
+                    }
+                    hard_missing = rk_missing_hard(
+                        rk_ent_hardprobe + e * RK_NW, completed);
+                }
+                for (a = 0; a < f; a++) {
+                    int64_t clock_a, obs_a, budget;
+                    int keep;
+                    cum += d[a < width ? a : width - 1];
+                    clock_a = clock + cum + a * mu;
+                    obs_a = observed + a + 1;
+                    if (a >= cap || hard_missing) {
+                        keep = 0;
+                    } else if (a >= rk_ent_natt[e]) {
+                        /* Fault count beyond the compiled attempt
+                         * tables (out-of-model f > k). */
+                        *fb = 1;
+                        return;
+                    } else {
+                        budget = RK_K - obs_a;
+                        if (budget < 0) {
+                            budget = 0;
+                        }
+                        keep = clock_a <= rk_thr[rk_ent_thr_off[e]
+                                                 + a * (RK_K + 1)
+                                                 + budget];
+                        if (keep) {
+                            keep = rk_benefit(e, pid, dropped, sdrop,
+                                              clock_a);
+                        }
+                    }
+                    if (!keep) {
+                        clock = clock_a;
+                        observed = obs_a;
+                        dropped[pid >> 6] |= (uint64_t)1 << (pid & 63);
+                        did_drop = 1;
+                        break;
+                    }
+                }
+                if (did_drop) {
+                    continue;
+                }
+                cum += d[f < width ? f : width - 1];
+                clock += cum + f * mu;
+                observed += f;
+            } else {
+                /* ---- closed-form advancement: fault-free entries
+                 * and hard re-executions ---- */
+                int64_t ca = f < width ? f : width - 1;
+                int64_t spent = 0;
+                int64_t a;
+                for (a = 0; a <= ca; a++) {
+                    spent += d[a];
+                }
+                spent += (f - ca) * d[width - 1] + f * mu;
+                clock += spent;
+                observed += f;
+            }
+            /* ---- completion of pid at clock ---- */
+            if (n_comp >= RK_N_PROC) {
+                *fb = 1;
+                return;
+            }
+            comp_pid[n_comp] = pid;
+            comp_time[n_comp] = clock;
+            n_comp++;
+            completed[pid >> 6] |= (uint64_t)1 << (pid & 63);
+            for (j = rk_ent_arc_off[e]; j < rk_ent_arc_off[e + 1]; j++) {
+                if (clock >= rk_arcs[j].lo && clock <= rk_arcs[j].hi
+                    && observed >= rk_arcs[j].required) {
+                    node = rk_arcs[j].target;
+                    chain[chain_len] = rk_node_orig[node];
+                    chain_len++;
+                    switched = 1;
+                    break;
+                }
+            }
+            if (switched) {
+                break;
+            }
+        }
+        if (!switched) {
+            break;
+        }
+    }
+    /* ---- finalize: implicit drops, stale coefficients, utility in
+     * completion order, hard-deadline misses ---- */
+    {
+        uint64_t fdrop[RK_NW];
+        double alpha[RK_N_PROC];
+        double u = 0.0;
+        int m = 0;
+        int64_t i, pid, t;
+        for (w = 0; w < RK_NW; w++) {
+            fdrop[w] = rk_soft_mask[w] & ~completed[w];
+            if (rk_hard_mask[w] & ~completed[w]) {
+                m = 1;
+            }
+        }
+        rk_alphas(fdrop, alpha);
+        for (i = 0; i < n_comp; i++) {
+            pid = comp_pid[i];
+            t = comp_time[i];
+            if (rk_is_hard[pid]) {
+                if (t > rk_deadline[pid]) {
+                    m = 1;
+                }
+            } else if (t <= RK_PERIOD) {
+                u = u + alpha[pid] * rk_util(pid, t);
+            }
+        }
+        *util = u;
+        *miss = (uint8_t)m;
+        *swc = chain_len;
+        *fobs = observed;
+    }
+}
+
+int64_t rk_run(int64_t n, int64_t width, const int64_t *durations,
+               const int64_t *fault_counts, double *utilities,
+               uint8_t *deadline_miss, int64_t *switch_counts,
+               int64_t *faults_observed, int64_t *chains,
+               uint8_t *fallback);
+
+int64_t rk_run(int64_t n, int64_t width, const int64_t *durations,
+               const int64_t *fault_counts, double *utilities,
+               uint8_t *deadline_miss, int64_t *switch_counts,
+               int64_t *faults_observed, int64_t *chains,
+               uint8_t *fallback)
+{
+    int64_t s;
+    if (n < 0 || width < 1) {
+        return -1;
+    }
+    for (s = 0; s < n; s++) {
+        rk_run_one(durations + s * RK_N_PROC * width,
+                   fault_counts + s * RK_N_PROC, width,
+                   utilities + s, deadline_miss + s, switch_counts + s,
+                   faults_observed + s, chains + s * RK_CHAIN_CAP,
+                   fallback + s);
+    }
+    return 0;
+}
+
+int64_t rk_layout(int64_t which);
+
+int64_t rk_layout(int64_t which)
+{
+    switch (which) {
+    case 0:
+        return %(codegen_version)d;
+    case 1:
+        return RK_N_PROC;
+    case 2:
+        return RK_N_NODES;
+    case 3:
+        return RK_CHAIN_CAP;
+    default:
+        break;
+    }
+    return -1;
+}
+""" % {"codegen_version": CODEGEN_VERSION}

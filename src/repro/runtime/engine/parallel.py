@@ -20,7 +20,10 @@ compiles a plan once per ``evaluate()`` call — the segment-stepped
 segment indexes — and reuses it across that plan's fault counts
 (``tests/test_parallel_pool.py`` pins both the pool reuse and the
 per-plan compile count).  Workers default to the batched engine but
-honour ``engine="reference"`` for differential measurements.
+honour ``engine="reference"`` for differential measurements and
+``engine="kernel"`` for the generated-C core (the parent warms the
+shared artifact cache before fanning out, so workers load the prebuilt
+object instead of racing to compile it).
 """
 
 from __future__ import annotations
@@ -111,12 +114,19 @@ def _simulate_slice(task) -> _ShardRaw:
     state = _WORKER
     app = state["app"]
     out: _ShardRaw = {}
-    if state["engine"] == "batched":
+    if state["engine"] in ("batched", "kernel"):
         from repro.runtime.engine.batch import ScenarioBatch
         from repro.runtime.engine.simulator import BatchSimulator
 
         if state["plan_key"] != plan_key:
-            state["simulator"] = BatchSimulator(app, plan)
+            if state["engine"] == "kernel":
+                # The parent warmed the on-disk artifact cache before
+                # fanning out, so this is normally a load, not a build.
+                from repro.runtime.engine.kernel import KernelSimulator
+
+                state["simulator"] = KernelSimulator(app, plan)
+            else:
+                state["simulator"] = BatchSimulator(app, plan)
             state["plan_key"] = plan_key
         simulator = state["simulator"]
         for faults, batch in state["batches"].items():

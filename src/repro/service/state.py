@@ -432,6 +432,7 @@ class ServiceState:
 
     def metrics(self) -> Dict[str, Any]:
         """The ``/metrics`` JSON snapshot."""
+        from repro.runtime.engine.kernel import kernel_stats
         from repro.runtime.engine.parallel import pool_recovery
 
         with self._endpoint_lock:
@@ -464,6 +465,7 @@ class ServiceState:
             "synthesis": synthesis,
             "store": store,
             "pool": dataclasses.asdict(pool_recovery()),
+            "kernel": kernel_stats().as_dict(),
         }
 
     # ------------------------------------------------------------------

@@ -123,6 +123,149 @@ def test_differential_corpus(engine_full):
 
 
 @engine_smoke
+def test_kernel_differential_corpus(engine_full, kernel_cache):
+    """The generated-C kernel matches the batched engine bit for bit.
+
+    The batched engine is oracle-gated by
+    :func:`test_differential_corpus`; chaining the kernel to it over
+    the same corpus extends the bit-identity guarantee (utility,
+    deadline miss, switch chain, observed faults, fast-path mask) to
+    the compiled path.  Skipped, with the counted reason, on boxes
+    without a C compiler — where the kernel *is* the batched engine.
+    """
+    from repro.runtime.engine.kernel import KernelSimulator
+
+    n_scenarios = 120 if engine_full else 25
+    checked = 0
+    for app_label, app in _corpus_apps(engine_full):
+        plans = _plans(app, engine_full)
+        assert plans, f"{app_label}: FTSS failed to schedule the corpus app"
+        evaluator = MonteCarloEvaluator(
+            app, n_scenarios=n_scenarios, seed=17
+        )
+        for plan_label, plan in plans:
+            batched = BatchSimulator(app, plan)
+            kernel = KernelSimulator(app, plan)
+            if kernel.engine_used != "kernel":
+                pytest.skip(
+                    f"kernel engine unavailable "
+                    f"({kernel.fallback_reason})"
+                )
+            for faults, scenarios in evaluator.scenarios.items():
+                batch = ScenarioBatch.from_scenarios(app, scenarios)
+                expected = batched.run_batch(batch)
+                actual = kernel.run_batch(batch)
+                label = f"{app_label}/{plan_label}/f={faults}"
+                assert (
+                    actual.utilities.tobytes()
+                    == expected.utilities.tobytes()
+                ), label
+                assert (
+                    actual.deadline_miss == expected.deadline_miss
+                ).all(), label
+                assert actual.switch_chains == expected.switch_chains, label
+                assert (
+                    actual.switch_counts == expected.switch_counts
+                ).all(), label
+                assert (
+                    actual.faults_observed == expected.faults_observed
+                ).all(), label
+                assert (
+                    actual.fast_path == expected.fast_path
+                ).all(), label
+                checked += 1
+    assert checked > 0
+
+
+def test_kernel_malformed_tree_replays_oracle_residual(kernel_cache):
+    """Scenarios outside the C walk's state model take the oracle.
+
+    The malformed tree of :func:`test_malformed_tree_counts_fallback`
+    re-executes a completed process; the kernel must flag those
+    scenarios out of its fast path and replay them on the oracle with
+    identical results and the same fallback count.
+    """
+    from repro.faults.injection import average_case_scenario
+    from repro.faults.model import FaultScenario
+    from repro.quasistatic.tree import QSTree, SwitchArc
+    from repro.runtime.engine.kernel import KernelSimulator
+    from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+
+    app = _hard_pred_app()
+    root = FSchedule(
+        app,
+        [
+            ScheduledEntry("A", 1),
+            ScheduledEntry("H", 1),
+            ScheduledEntry("S", 1),
+        ],
+        fault_budget=1,
+    )
+    child = FSchedule(
+        app,
+        [ScheduledEntry("A", 1), ScheduledEntry("H", 1)],
+        fault_budget=1,
+    )
+    tree = QSTree(root)
+    node = tree.add_child(tree.root_id, child, "A", 0, layer=1)
+    tree.add_arc(
+        tree.root_id,
+        SwitchArc(
+            process="A", lo=0, hi=10**9, required_faults=0, target=node.node_id
+        ),
+    )
+    kernel = KernelSimulator(app, tree)
+    if kernel.engine_used != "kernel":
+        pytest.skip(f"kernel engine unavailable ({kernel.fallback_reason})")
+    scenarios = [
+        average_case_scenario(app, FaultScenario.none()),
+        average_case_scenario(app, FaultScenario.of({"H": 1})),
+    ]
+    batch = ScenarioBatch.from_scenarios(app, scenarios)
+    expected = BatchSimulator(app, tree).run_batch(batch)
+    actual = kernel.run_batch(batch)
+    assert actual.n_fallback == len(scenarios)
+    assert actual.utilities.tobytes() == expected.utilities.tobytes()
+    assert actual.switch_chains == expected.switch_chains
+    from repro.runtime.engine.kernel import kernel_stats
+
+    assert kernel_stats().oracle_scenarios == len(scenarios)
+
+
+@engine_smoke
+def test_kernel_evaluator_outcomes_identical(fig1_app, kernel_cache):
+    """engine="kernel" aggregates to the same outcomes, field for field."""
+    evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=60, seed=9)
+    plan = ftqs(fig1_app, ftss(fig1_app), FTQSConfig(max_schedules=6))
+    by_batch = evaluator.evaluate(plan, engine="batched")
+    by_kernel = evaluator.evaluate(plan, engine="kernel")
+    assert set(by_batch) == set(by_kernel)
+    for faults in by_batch:
+        bat, ker = by_batch[faults], by_kernel[faults]
+        assert bat.utilities == ker.utilities
+        assert bat.mean_utility == ker.mean_utility
+        assert bat.deadline_misses == ker.deadline_misses
+        assert bat.mean_switches == ker.mean_switches
+        assert bat.mean_faults == ker.mean_faults
+
+
+@engine_smoke
+def test_kernel_parallel_sharding_is_outcome_preserving(
+    fig1_app, kernel_cache
+):
+    """jobs=2 with engine="kernel" merges to the jobs=1 outcomes."""
+    evaluator = MonteCarloEvaluator(
+        fig1_app, n_scenarios=25, fault_counts=[0, 1], seed=4
+    )
+    plan = ftss(fig1_app)
+    with evaluator:
+        serial = evaluator.evaluate(plan, engine="kernel", jobs=1)
+        sharded = evaluator.evaluate(plan, engine="kernel", jobs=2)
+    for faults in serial:
+        assert sharded[faults].utilities == serial[faults].utilities
+
+
+@engine_smoke
 def test_faulted_scenarios_use_fast_path_when_hard_only(fig1_app):
     """Fault patterns touching only hard processes stay vectorized."""
     from repro.faults.injection import average_case_scenario
@@ -459,6 +602,50 @@ def test_probe_raise_routes_to_oracle_and_counts_fallback():
         OnlineScheduler(app, tree, record_events=False).run(faulted)
     with pytest.raises(SchedulingError):
         simulator.run_batch(batch)
+
+
+def test_kernel_reproduces_probe_raise(kernel_cache):
+    """The kernel replays probe-rejected scenarios on the oracle —
+    including reproducing its raise, exactly like the batched engine
+    in :func:`test_probe_raise_routes_to_oracle_and_counts_fallback`."""
+    from repro.errors import SchedulingError
+    from repro.faults.injection import average_case_scenario
+    from repro.faults.model import FaultScenario
+    from repro.quasistatic.tree import QSTree, SwitchArc
+    from repro.runtime.engine.kernel import KernelSimulator
+    from repro.scheduling.fschedule import FSchedule, ScheduledEntry
+
+    app = _hard_pred_app()
+    root = FSchedule(
+        app,
+        [
+            ScheduledEntry("A", 1),
+            ScheduledEntry("H", 1),
+            ScheduledEntry("S", 1),
+        ],
+        fault_budget=1,
+    )
+    child = FSchedule(
+        app,
+        [ScheduledEntry("S", 1)],
+        fault_budget=1,
+        prior_completed=frozenset({"A", "H"}),
+    )
+    tree = QSTree(root)
+    node = tree.add_child(tree.root_id, child, "A", 0, layer=1)
+    tree.add_arc(
+        tree.root_id,
+        SwitchArc(
+            process="A", lo=0, hi=10**9, required_faults=0, target=node.node_id
+        ),
+    )
+    kernel = KernelSimulator(app, tree)
+    if kernel.engine_used != "kernel":
+        pytest.skip(f"kernel engine unavailable ({kernel.fallback_reason})")
+    faulted = average_case_scenario(app, FaultScenario.of({"S": 1}))
+    batch = ScenarioBatch.from_scenarios(app, [faulted])
+    with pytest.raises(SchedulingError):
+        kernel.run_batch(batch)
 
 
 def test_batch_rejects_mismatched_process_columns(fig1_app, fig8_app):

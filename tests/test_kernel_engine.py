@@ -1,0 +1,248 @@
+"""The generated-C kernel engine: build, cache, fallback and chaos.
+
+Bit identity with the oracle is gated by
+``tests/test_engine_differential.py``; this file covers the machinery
+around the kernel itself — that the emitted C is warning-clean under
+``-Wall -Werror``, that the artifact cache and in-process memo count
+hits, that every way a kernel can fail to materialize (no compiler,
+injected chaos) degrades to the NumPy engine with a counted reason
+and identical results, and that the CLI/service surfaces report it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+
+import pytest
+
+from repro.evaluation.montecarlo import MonteCarloEvaluator
+from repro.quasistatic.ftqs import FTQSConfig, ftqs
+from repro.runtime.engine import BatchSimulator, ScenarioBatch
+from repro.runtime.engine.kernel import (
+    KernelSimulator,
+    find_compiler,
+    generate_kernel_source,
+    kernel_stats,
+    plan_fingerprint,
+)
+from repro.scheduling.ftss import ftss
+
+
+def _tree(app, schedules=6):
+    root = ftss(app)
+    assert root is not None
+    return ftqs(app, root, FTQSConfig(max_schedules=schedules))
+
+
+def _batch(app, n=40, fault_counts=None, seed=3):
+    evaluator = MonteCarloEvaluator(
+        app, n_scenarios=n, fault_counts=fault_counts, seed=seed
+    )
+    return {
+        faults: ScenarioBatch.from_scenarios(app, scenarios)
+        for faults, scenarios in evaluator.scenarios.items()
+    }
+
+
+def _assert_same_results(app, plan, simulator):
+    """``simulator`` must reproduce the NumPy engine bit for bit."""
+    batched = BatchSimulator(app, plan)
+    for faults, batch in _batch(app).items():
+        expected = batched.run_batch(batch)
+        actual = simulator.run_batch(batch)
+        assert actual.utilities.tobytes() == expected.utilities.tobytes()
+        assert (actual.deadline_miss == expected.deadline_miss).all()
+        assert (actual.switch_counts == expected.switch_counts).all()
+        assert (actual.faults_observed == expected.faults_observed).all()
+        assert actual.switch_chains == expected.switch_chains
+        assert (actual.fast_path == expected.fast_path).all()
+
+
+# ----------------------------------------------------------------------
+# Generated source
+# ----------------------------------------------------------------------
+def test_generated_source_compiles_warning_clean(
+    fig1_app, fig8_app, tmp_path, kernel_cache
+):
+    """Round trip: the emitted C compiles under -Wall -Werror.
+
+    The production flags don't include -Wall; this pins that the
+    generator never relies on the compiler being lenient (unused
+    statics, implicit conversions, missing braces).
+    """
+    compiler = find_compiler()
+    if compiler is None:
+        pytest.skip("no C compiler on this box")
+    for label, app in (("fig1", fig1_app), ("fig8", fig8_app)):
+        tree = _tree(app)
+        simulator = BatchSimulator(app, tree)
+        source = generate_kernel_source(
+            simulator.capp, simulator.ctree, simulator._tables
+        )
+        c_path = tmp_path / f"{label}.c"
+        c_path.write_text(source)
+        proc = subprocess.run(
+            [
+                compiler, "-std=c99", "-Wall", "-Werror", "-fPIC",
+                "-shared", "-ffp-contract=off",
+                "-o", str(tmp_path / f"{label}.so"), str(c_path),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, (
+            f"{label}: generated source not warning-clean:\n{proc.stderr}"
+        )
+
+
+def test_fingerprint_is_structural(fig1_app):
+    """Same plan → same fingerprint; different plan → different."""
+    tree_a = _tree(fig1_app, schedules=6)
+    tree_b = _tree(fig1_app, schedules=6)
+    root = ftss(fig1_app)
+    sim_a = BatchSimulator(fig1_app, tree_a)
+    sim_b = BatchSimulator(fig1_app, tree_b)
+    sim_root = BatchSimulator(fig1_app, root)
+    fp_a = plan_fingerprint(sim_a.capp, sim_a.ctree)
+    assert fp_a == plan_fingerprint(sim_b.capp, sim_b.ctree)
+    assert fp_a != plan_fingerprint(sim_root.capp, sim_root.ctree)
+
+
+# ----------------------------------------------------------------------
+# Cache accounting
+# ----------------------------------------------------------------------
+def test_cache_counts_compile_then_hits(fig1_app, kernel_cache):
+    compiler = find_compiler()
+    if compiler is None:
+        pytest.skip("no C compiler on this box")
+    import repro.runtime.engine.kernel.dispatch as dispatch
+
+    tree = _tree(fig1_app)
+    first = KernelSimulator(fig1_app, tree)
+    assert first.engine_used == "kernel"
+    assert kernel_stats().compiles == 1
+    assert kernel_stats().cache_hits == 0
+    # Second construction: served from the in-process memo.
+    second = KernelSimulator(fig1_app, tree)
+    assert second.engine_used == "kernel"
+    assert kernel_stats().compiles == 1
+    assert kernel_stats().cache_hits == 1
+    # Cold process, warm disk: clearing the memo must fall through to
+    # the on-disk artifact cache, not recompile.
+    dispatch._LOADED.clear()
+    third = KernelSimulator(fig1_app, tree)
+    assert third.engine_used == "kernel"
+    assert kernel_stats().compiles == 1
+    assert kernel_stats().cache_hits == 2
+    # The artifact cache holds the object and its source for debugging.
+    assert any(kernel_cache.glob("*.so"))
+    assert any(kernel_cache.glob("*.c"))
+
+
+# ----------------------------------------------------------------------
+# Degradation paths
+# ----------------------------------------------------------------------
+def test_no_compiler_falls_back_with_identical_results(
+    fig1_app, kernel_cache, monkeypatch
+):
+    """$REPRO_CC naming an absent binary = no compiler anywhere."""
+    monkeypatch.setenv("REPRO_CC", "definitely-not-a-compiler")
+    tree = _tree(fig1_app)
+    simulator = KernelSimulator(fig1_app, tree)
+    assert simulator.engine_used == "batched"
+    assert simulator.fallback_reason == "no-compiler"
+    assert kernel_stats().fallbacks == {"no-compiler": 1}
+    assert kernel_stats().compiles == 0
+    _assert_same_results(fig1_app, tree, simulator)
+
+
+def test_no_compiler_evaluator_and_jobs_still_complete(
+    fig1_app, kernel_cache, monkeypatch
+):
+    """engine="kernel" without a compiler completes on every path."""
+    monkeypatch.setenv("REPRO_CC", "definitely-not-a-compiler")
+    tree = _tree(fig1_app)
+    evaluator = MonteCarloEvaluator(
+        fig1_app, n_scenarios=20, fault_counts=[0, 1], seed=5
+    )
+    with evaluator:
+        by_batch = evaluator.evaluate(tree, engine="batched")
+        by_kernel = evaluator.evaluate(tree, engine="kernel")
+        sharded = evaluator.evaluate(tree, engine="kernel", jobs=2)
+    for faults in by_batch:
+        assert by_kernel[faults].utilities == by_batch[faults].utilities
+        assert sharded[faults].utilities == by_batch[faults].utilities
+    assert kernel_stats().fallbacks.get("no-compiler", 0) >= 1
+
+
+def test_chaos_forces_compile_failure_deterministically(
+    fig1_app, kernel_cache
+):
+    """kernel-fail@1 degrades the first build; the second succeeds."""
+    compiler = find_compiler()
+    if compiler is None:
+        pytest.skip("no C compiler on this box")
+    from repro.pipeline import chaos
+
+    tree = _tree(fig1_app)
+    plan = chaos.ChaosPlan.parse("kernel-fail@1")
+    with chaos.active(plan):
+        degraded = KernelSimulator(fig1_app, tree)
+        assert degraded.engine_used == "batched"
+        assert degraded.fallback_reason == "chaos"
+        assert plan.kernel_compiles_seen == 1
+        assert plan.kernel_failures_injected == 1
+        _assert_same_results(fig1_app, tree, degraded)
+        # Attempt 2 is not scheduled to fail: the engine recovers.
+        recovered = KernelSimulator(fig1_app, tree)
+        assert recovered.engine_used == "kernel"
+        assert plan.kernel_compiles_seen == 2
+        assert plan.kernel_failures_injected == 1
+    assert kernel_stats().fallbacks == {"chaos": 1}
+
+
+def test_chaos_parse_kernel_fail_tokens():
+    from repro.pipeline import chaos
+
+    plan = chaos.ChaosPlan.parse("kernel-fail@2-4,kernel-fail@7")
+    assert plan.kernel_fail == frozenset({2, 3, 4, 7})
+    with pytest.raises(ValueError, match="kernel-fail"):
+        chaos.ChaosPlan.parse("kernel-fail@4-2")
+    with pytest.raises(ValueError, match="kernel-fail"):
+        chaos.ChaosPlan.parse("no-such-token@1")
+
+
+# ----------------------------------------------------------------------
+# Stats surface
+# ----------------------------------------------------------------------
+def test_stats_summary_and_dict_shapes():
+    from repro.runtime.engine.kernel import KernelStats
+
+    stats = KernelStats()
+    assert stats.summary() == "0 compile(s), 0 cache hit(s)"
+    stats.compiles = 2
+    stats.cache_hits = 3
+    stats.count_fallback("no-compiler")
+    stats.count_fallback("no-compiler")
+    stats.count_fallback("chaos")
+    assert stats.n_fallbacks == 3
+    assert stats.summary() == (
+        "2 compile(s), 3 cache hit(s), 3 fallback(s) "
+        "[chaos x1, no-compiler x2]"
+    )
+    as_dict = stats.as_dict()
+    assert as_dict["compiles"] == 2
+    assert as_dict["fallbacks"] == {"no-compiler": 2, "chaos": 1}
+    snapshot = stats.snapshot()
+    stats.count_fallback("chaos")
+    assert snapshot.fallbacks == {"no-compiler": 2, "chaos": 1}
+
+
+def test_evaluator_engine_validation():
+    from repro.errors import RuntimeModelError
+    from repro.evaluation.montecarlo import ENGINES, _check_engine
+
+    assert "kernel" in ENGINES
+    with pytest.raises(RuntimeModelError, match="unknown engine"):
+        _check_engine("compiled")

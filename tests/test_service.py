@@ -103,6 +103,11 @@ def test_probes_and_metrics(fig1_payload):
         assert metrics["synthesis"]["trees_built"] == 1
         assert metrics["store"]["backend"] == "memory"
         assert metrics["pool"]["pool_degradations"] == 0
+        # The kernel-engine counters are always exported, even when the
+        # service never simulates (all zeros in that case).
+        assert set(metrics["kernel"]) == {
+            "compiles", "cache_hits", "fallbacks", "oracle_scenarios",
+        }
 
 
 # ----------------------------------------------------------------------
