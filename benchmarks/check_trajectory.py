@@ -19,17 +19,17 @@ never decay.  ``--baseline best`` selects the strict all-time-best
 comparison for hand audits.
 
 An asserted-floor metric is the ``speedup`` of an axis whose label
-does not contain ``"jobs"`` — that covers the engine axes
-(``cc/ftqs-8/f=N``) and the generated-C kernel axes
+contains neither ``"jobs"`` nor ``"threads"`` — that covers the
+engine axes (``cc/ftqs-8/f=N``) and the generated-C kernel axes
 (``cc/ftqs-8/f=N/kernel-vs-ref`` and ``.../kernel-vs-batched``).
-The job-count comparison axes (``cc/compare-jobs``,
-``table1/jobs4-vs-jobs1``) depend on how many CPUs the box has and
-are gated inside the benches themselves, so a trajectory comparison
-across heterogeneous machines would be noise, not signal: they are
-*skipped*, never gated, and any historical jobs-comparison row
-recorded on a box with fewer than ``MIN_JOBS_CPUS`` CPUs (each row
-carries the ``cpu_count`` it was measured on) is dropped from
-baselines outright.
+The CPU-bound comparison axes (``cc/compare-jobs``,
+``cc/compare-kernel-threads``, ``table1/jobs4-vs-jobs1``) depend on
+how many CPUs the box has and are gated inside the benches
+themselves, so a trajectory comparison across heterogeneous machines
+would be noise, not signal: they are *skipped*, never gated, and any
+historical comparison row recorded on a box with fewer than
+``MIN_JOBS_CPUS`` CPUs (each row carries the ``cpu_count`` it was
+measured on) is dropped from baselines outright.
 
 Usage (also wired into CI)::
 
@@ -52,18 +52,24 @@ from typing import Dict, List, Tuple
 #: The metric asserted with a floor by the bench suites.
 FLOOR_METRIC = "speedup"
 
-#: Below this CPU count a jobs-comparison measurement is noise
-#: (process parallelism cannot win without cores) and is skipped.
+#: Below this CPU count a CPU-bound comparison measurement (jobs or
+#: threads) is noise — parallelism cannot win without cores — and is
+#: skipped.
 MIN_JOBS_CPUS = 4
 
 
 def is_floor_axis(label: str) -> bool:
-    """True when ``label``'s speedup is floor-asserted by the benches."""
-    return "jobs" not in label
+    """True when ``label``'s speedup is floor-asserted by the benches.
+
+    Axes comparing worker counts or sharding modes (``jobs`` or
+    ``threads`` in the label) are CPU-bound and gated inside the
+    benches themselves, never by the trajectory.
+    """
+    return "jobs" not in label and "threads" not in label
 
 
 def is_skipped_row(label: str, row: dict) -> bool:
-    """True for jobs-comparison rows measured on a too-small box.
+    """True for CPU-bound comparison rows measured on a too-small box.
 
     Older entries predate the per-axis ``cpu_count`` field; those are
     kept (the benches of that era only appended the row after passing
@@ -143,7 +149,7 @@ def check_file(
             cpus = row.get("cpu_count")
             where = f"on a {cpus}-CPU box" if cpus else "no cpu_count"
             print(
-                f"{path.name}: {label}: jobs-comparison axis "
+                f"{path.name}: {label}: CPU-bound comparison axis "
                 f"({where}), skipped — gated in the bench itself"
             )
             continue

@@ -14,9 +14,13 @@ packed — both engines share the packing cost, which the batched axes
 already measure end-to-end — and assert ≥ 2x over batched on the
 mixed-fault axes (they are skipped, with the counted reason, on boxes
 without a C compiler).  A persistent-pool ``compare()`` benchmark
-checks that ``jobs=4`` beats ``jobs=1`` on a multi-plan workload
-(asserted — and recorded in the trajectory — only when the box
-actually has ≥ 4 CPUs, so 1-CPU boxes cannot pollute the history).
+checks that ``batched@processes:4`` beats an inline run on a
+multi-plan workload, and a ``kernel-threads`` axis
+(``cc/compare-kernel-threads``) that ``kernel@threads:4`` beats
+``kernel@processes:4`` on the same workload — the GIL-free thread
+sharding skips fork and shared-memory publication entirely (asserted
+— and recorded in the trajectory — only when the box actually has
+≥ 4 CPUs, so 1-CPU boxes cannot pollute the history).
 
 Every measured axis is appended to ``BENCH_engine.json`` at the repo
 root — a trajectory artifact: one entry per bench run, each axis row
@@ -101,7 +105,7 @@ def _time_engine(evaluator, plan, engine, rounds=2, repack=True):
         if repack:
             evaluator._batches.clear()
         start = time.perf_counter()
-        outcomes = evaluator.evaluate(plan, engine=engine)
+        outcomes = evaluator.evaluate(plan, execution=engine)
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
     return outcomes, best
@@ -246,7 +250,7 @@ def test_kernel_speedup_single_fault_axes(
     evaluator = MonteCarloEvaluator(
         app, n_scenarios=n, fault_counts=[faults], seed=11
     )
-    evaluator.evaluate(tree, engine="batched")  # pack once, warm caches
+    evaluator.evaluate(tree, execution="batched")  # pack once, warm caches
     by_reference, t_ref = _time_engine(
         evaluator, tree, "reference", repack=False
     )
@@ -282,7 +286,7 @@ def test_kernel_speedup_mixed_fault_axes(
     evaluator = MonteCarloEvaluator(
         app, n_scenarios=n, fault_counts=[0, 1, 2], seed=11
     )
-    evaluator.evaluate(tree, engine="batched")  # pack once, warm caches
+    evaluator.evaluate(tree, execution="batched")  # pack once, warm caches
     by_batch, t_bat = _time_engine(evaluator, tree, "batched", repack=False)
     by_kernel, t_ker = _time_engine(evaluator, tree, "kernel", repack=False)
     for faults in (0, 1, 2):
@@ -316,13 +320,13 @@ def test_parallel_compare_workload(cc_setup, full_scale, trajectory):
     n = 20000 if full_scale else 2000
     with MonteCarloEvaluator(
         app, n_scenarios=n, fault_counts=[0, 1, 2], seed=11,
-        engine="batched",
+        execution="batched",
     ) as evaluator:
         start = time.perf_counter()
         serial = evaluator.compare(plans)
         t_serial = time.perf_counter() - start
 
-        parallel = evaluator.parallel("batched", 4)
+        parallel = evaluator.executor("batched@processes:4")
         parallel.evaluate(root)  # warm the pool outside the timing
         start = time.perf_counter()
         sharded = parallel.compare(plans)
@@ -365,6 +369,87 @@ def test_parallel_compare_workload(cc_setup, full_scale, trajectory):
     )
 
 
+def test_kernel_threads_beat_processes_compare_workload(
+    cc_setup, full_scale, trajectory, kernel_ready
+):
+    """kernel@threads:4 must beat kernel@processes:4 (on a >= 4-CPU
+    box) — the ``kernel-threads`` axis.
+
+    The ROADMAP's GIL-free multi-core item: the kernel's ``ctypes``
+    call releases the GIL for the whole batch, so thread sharding gets
+    the same core budget as process sharding while skipping fork,
+    shared-memory publication and result pickling entirely.  Skipped
+    (neither asserted nor recorded) without the cores to parallelize.
+    """
+    from repro.runtime.engine.threads import (
+        reset_thread_stats,
+        thread_stats,
+    )
+
+    cpus = _cpus()
+    if cpus < 4:
+        pytest.skip(
+            f"threads-vs-processes needs >= 4 CPUs, have {cpus}"
+        )
+    app, root, tree = cc_setup
+    plans = {
+        "ftss": root,
+        "ftqs-2": ftqs(app, root, FTQSConfig(max_schedules=2)),
+        "ftqs-4": ftqs(app, root, FTQSConfig(max_schedules=4)),
+        "ftqs-8": tree,
+    }
+    n = 20000 if full_scale else 2000
+    reset_thread_stats()
+    with MonteCarloEvaluator(
+        app, n_scenarios=n, fault_counts=[0, 1, 2], seed=11,
+        execution="kernel",
+    ) as evaluator:
+        threaded = evaluator.executor("kernel@threads:4")
+        processes = evaluator.executor("kernel@processes:4")
+        # Warm both pools (and the compiled per-shard kernels) outside
+        # the timed region.
+        threaded.evaluate(root)
+        processes.evaluate(root)
+
+        start = time.perf_counter()
+        by_threads = threaded.compare(plans)
+        t_threads = time.perf_counter() - start
+
+        start = time.perf_counter()
+        by_processes = processes.compare(plans)
+        t_processes = time.perf_counter() - start
+
+    assert thread_stats().fallbacks == {}, (
+        f"threaded axis fell back: {thread_stats().summary()}"
+    )
+    for name in plans:
+        for faults in (0, 1, 2):
+            assert (
+                by_threads[name][faults].utilities
+                == by_processes[name][faults].utilities
+            )
+    total = n * 3 * len(plans)
+    print(
+        f"\n[cc/compare-kernel-threads x{len(plans)}] processes:4 "
+        f"{total / t_processes:,.0f} scen/s ({t_processes:.3f}s)  "
+        f"threads:4 {total / t_threads:,.0f} scen/s ({t_threads:.3f}s)"
+    )
+    trajectory.append(
+        {
+            "label": "cc/compare-kernel-threads",
+            "n_scenarios": total,
+            "cpu_count": cpus,
+            "threads4_scen_per_s": total / t_threads,
+            "processes4_scen_per_s": total / t_processes,
+            "speedup": t_processes / t_threads,
+        }
+    )
+    assert t_threads < t_processes, (
+        f"kernel@threads:4 ({t_threads:.3f}s) did not beat "
+        f"kernel@processes:4 ({t_processes:.3f}s) on a {cpus}-CPU box"
+    )
+
+
 @bench_smoke
 def test_engine_smoke_throughput(cc_setup):
     """Seconds-long tier-1 slice: mixed-fault table path >= 2x.
@@ -403,7 +488,7 @@ def test_kernel_smoke_throughput(cc_setup, kernel_ready):
     evaluator = MonteCarloEvaluator(
         app, n_scenarios=400, fault_counts=[0, 1, 2], seed=23
     )
-    evaluator.evaluate(tree, engine="batched")  # pack once, warm caches
+    evaluator.evaluate(tree, execution="batched")  # pack once, warm caches
     by_batch, t_bat = _time_engine(evaluator, tree, "batched", repack=False)
     by_kernel, t_ker = _time_engine(evaluator, tree, "kernel", repack=False)
     for faults in (0, 1, 2):

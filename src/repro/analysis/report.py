@@ -119,8 +119,7 @@ def synthesis_report(
     max_schedules: int = 8,
     n_scenarios: int = 200,
     seed: int = 1,
-    engine: str = "batched",
-    jobs: int = 1,
+    execution="batched",
     synthesis: str = "fast",
     synthesis_jobs: int = 1,
     stats=None,
@@ -156,8 +155,7 @@ def synthesis_report(
         app,
         n_scenarios=n_scenarios,
         seed=seed,
-        engine=engine,
-        jobs=jobs,
+        execution=execution,
         resources=resources,
     ) as evaluator:
         results = evaluator.compare(plans)

@@ -70,6 +70,56 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _executor_spec(text: str):
+    """argparse type for ``--executor SPEC``: the parsed config itself.
+
+    A malformed spec dies at parse time (exit 2) with the same
+    one-line message — enumerating the valid engines and modes — that
+    the library raises.
+    """
+    from repro.errors import RuntimeModelError
+    from repro.execution import ExecutionConfig
+
+    try:
+        return ExecutionConfig.parse(text)
+    except RuntimeModelError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _engine_name(text: str) -> str:
+    """argparse type for the deprecated ``--engine``: same one-line
+    enumeration as a bad ``--executor`` spec."""
+    from repro.execution import ENGINES, choices_line
+
+    if text not in ENGINES:
+        raise argparse.ArgumentTypeError(
+            f"unknown engine {text!r}; {choices_line()}"
+        )
+    return text
+
+
+def _resolve_execution(args: argparse.Namespace):
+    """The :class:`ExecutionConfig` the flags mean.
+
+    ``--executor`` wins; the deprecated ``--engine``/``--jobs`` map
+    onto it (``E``/``N`` → ``E@processes:N``) and cannot be combined
+    with it.
+    """
+    from repro.execution import ExecutionConfig
+
+    executor = getattr(args, "executor", None)
+    engine = getattr(args, "engine", None)
+    jobs = getattr(args, "jobs", None)
+    if executor is not None:
+        if engine is not None or jobs is not None:
+            raise SystemExit(
+                "error: --executor supersedes --engine/--jobs; pass "
+                "one or the other"
+            )
+        return executor
+    return ExecutionConfig.from_legacy(engine=engine, jobs=jobs)
+
+
 def _open_store(args: argparse.Namespace):
     """The tree store for ``--cache-backend``/``--cache-dir``.
 
@@ -221,7 +271,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             "error: --resume needs --checkpoint DIR (the journal to "
             "resume from)"
         )
-    routing = {"engine": args.engine, "jobs": args.jobs}
+    routing = {"execution": _resolve_execution(args).spec()}
     synthesis, stats = _synthesis_routing(args)
     reset_pool_recovery()
     store = _open_store(args)
@@ -349,10 +399,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(
         host=args.host,
         port=args.port,
-        jobs=args.jobs,
+        execution=_resolve_execution(args),
         synthesis_jobs=args.synthesis_jobs,
         synthesis=args.synthesis,
-        engine=args.engine,
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
         request_timeout=(
@@ -417,17 +466,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     app = application_from_dict(load_json(args.application))
     tree = tree_from_dict(app, load_json(args.tree))
-    if args.engine == "kernel":
+    execution = _resolve_execution(args)
+    if execution.engine == "kernel":
         from repro.runtime.engine.kernel import reset_kernel_stats
 
         reset_kernel_stats()
+    if execution.mode == "threads":
+        from repro.runtime.engine.threads import reset_thread_stats
+
+        reset_thread_stats()
     evaluator = MonteCarloEvaluator(
         app,
         n_scenarios=args.scenarios,
         fault_counts=list(range(app.k + 1)),
         seed=args.seed,
-        engine=args.engine,
-        jobs=args.jobs,
+        execution=execution,
     )
     with _chaos_context(args), evaluator:
         outcomes = evaluator.evaluate(tree)
@@ -436,7 +489,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fast_path = (
             f", fast path {100.0 * outcome.fast_path_share:.1f}% "
             f"({outcome.fallbacks} oracle fallbacks)"
-            if args.engine in ("batched", "kernel")
+            if execution.engine in ("batched", "kernel")
             else ""
         )
         print(
@@ -444,10 +497,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{outcome.mean_switches:.2f} switches/cycle"
             f"{fast_path} [{status}]"
         )
-    if args.engine == "kernel":
+    if execution.engine == "kernel":
         from repro.runtime.engine.kernel import kernel_stats
 
         print(f"simulate: kernel {kernel_stats().summary()}")
+    if execution.mode == "threads":
+        from repro.runtime.engine.threads import thread_stats
+
+        print(f"simulate: threads {thread_stats().summary()}")
     return 0
 
 
@@ -479,8 +536,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         max_schedules=args.schedules,
         n_scenarios=args.scenarios,
         seed=args.seed,
-        engine=args.engine,
-        jobs=args.jobs,
+        execution=_resolve_execution(args),
         synthesis=args.synthesis,
         synthesis_jobs=args.synthesis_jobs,
         stats=stats,
@@ -534,29 +590,43 @@ def _add_chaos_option(parser: argparse.ArgumentParser) -> None:
         "for S seconds, default 30), kill-run@N (die after N "
         "journaled units; exit code 75), kernel-fail@N / "
         "kernel-fail@A-B (fail the Nth / every A..Bth kernel compile "
-        "attempt, degrading to the batched engine), budget@N, "
+        "attempt, degrading to the batched engine), thread-fail@N / "
+        "thread-fail@A-B (fail the Nth / every A..Bth threaded "
+        "evaluation, falling back to process sharding), budget@N, "
         "seed@S; a bad token fails at parse time",
     )
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
-    """Simulation-engine routing flags shared by the sub-commands."""
+    """Simulation-execution routing flags shared by the sub-commands."""
+    parser.add_argument(
+        "--executor",
+        type=_executor_spec,
+        default=None,
+        metavar="SPEC",
+        help="Monte-Carlo execution spec ENGINE[@MODE[:WORKERS]] — "
+        "engines: reference (pure-Python oracle loop), batched (NumPy "
+        "array engine), kernel (generated-C; needs a C compiler, "
+        "degrades to batched with a counted reason); modes: inline "
+        "(default), processes (shard across worker processes), "
+        "threads (shard across GIL-free threads; kernel engine only, "
+        "other engines fall back to processes with a counted reason). "
+        "Results are bit-identical for every spec, only speed "
+        "differs; e.g. 'kernel@threads:8', 'batched@processes:4', "
+        "'reference' (default: batched)",
+    )
     parser.add_argument(
         "--engine",
-        choices=["reference", "batched", "kernel"],
-        default="batched",
-        help="Monte-Carlo engine: the pure-Python reference loop, the "
-        "batched array engine, or the generated-C kernel engine "
-        "(identical results, only speed differs; 'kernel' needs a C "
-        "compiler and degrades to 'batched' with a counted reason "
-        "when none is found)",
+        type=_engine_name,
+        default=None,
+        metavar="ENGINE",
+        help="deprecated alias for --executor ENGINE",
     )
     parser.add_argument(
         "--jobs",
         type=_positive_int,
-        default=1,
-        help="worker processes for the Monte-Carlo evaluation "
-        "(deterministic for any count)",
+        default=None,
+        help="deprecated alias for --executor ENGINE@processes:N",
     )
 
 

@@ -46,8 +46,7 @@ class AblationConfig:
     seed: int = 2008
     include_replanner: bool = True
     replanner_scenarios: int = 10
-    engine: str = "batched"
-    jobs: int = 1
+    execution: str = "batched"
 
 
 #: Configurations attempted per application; used to report how often
@@ -82,7 +81,7 @@ class AblationRunner(ExperimentRunner):
     """
 
     def __init__(self, config: AblationConfig = AblationConfig(), **kwargs):
-        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        super().__init__(execution=config.execution, **kwargs)
         self.config = config
 
     def _build_plans(self, app, root):

@@ -31,8 +31,7 @@ class CCConfig:
     max_schedules: int = 39
     n_scenarios: int = 300
     seed: int = 2008
-    engine: str = "batched"
-    jobs: int = 1
+    execution: str = "batched"
 
     @classmethod
     def paper_scale(cls) -> "CCConfig":
@@ -83,7 +82,7 @@ class CCRunner(ExperimentRunner):
     paired evaluation."""
 
     def __init__(self, config: CCConfig = CCConfig(), **kwargs):
-        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        super().__init__(execution=config.execution, **kwargs)
         self.config = config
 
     def _run(self) -> CCReport:

@@ -10,9 +10,10 @@ The paper's full scale — 50 applications per size and 20,000 scenarios
 per fault count — takes hours in the pure-Python reference loop;
 :class:`Fig9Config` scales it down by default and the benches/CLI
 expose flags to restore the full numbers (shapes are stable well below
-full scale).  The batched engine (``engine="batched"``, the default)
-cuts the simulation share of that time by about an order of magnitude
-with bit-identical results, and ``jobs > 1`` shards it further.
+full scale).  The batched engine (``execution="batched"``, the
+default) cuts the simulation share of that time by about an order of
+magnitude with bit-identical results, and a sharded spec
+(``"kernel@threads:8"``, ``"batched@processes:4"``) cuts it further.
 """
 
 from __future__ import annotations
@@ -41,8 +42,7 @@ class Fig9Config:
     k: int = 3
     mu: int = 15
     seed: int = 2008
-    engine: str = "batched"
-    jobs: int = 1
+    execution: str = "batched"
 
     @classmethod
     def paper_scale(cls) -> "Fig9Config":
@@ -70,7 +70,7 @@ class Fig9Runner(ExperimentRunner):
     against all three, and normalize mean utilities to FTQS/no-faults.
     One evaluator serves all three plans of an application, its
     scenario segments released before the next application; with
-    ``jobs > 1`` the worker processes are the run-wide pool of the
+    process sharding the worker processes are the run-wide pool of the
     :class:`~repro.pipeline.resources.ResourceManager`.
     """
 
@@ -80,7 +80,7 @@ class Fig9Runner(ExperimentRunner):
         faults_for_statics: Tuple[int, ...] = (0, 3),
         **kwargs,
     ):
-        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        super().__init__(execution=config.execution, **kwargs)
         self.config = config
         self.faults_for_statics = faults_for_statics
 

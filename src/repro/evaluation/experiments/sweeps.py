@@ -40,8 +40,7 @@ class SweepConfig:
     mu: int = 15
     seed: int = 2008
     period_pressure: Tuple[float, float] = (0.75, 0.95)
-    engine: str = "batched"
-    jobs: int = 1
+    execution: str = "batched"
 
 
 @dataclass
@@ -70,7 +69,7 @@ class SweepRunner(ExperimentRunner):
         config: SweepConfig = SweepConfig(),
         **kwargs,
     ):
-        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        super().__init__(execution=config.execution, **kwargs)
         self.points = points
         self.config = config
 

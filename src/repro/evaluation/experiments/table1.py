@@ -35,8 +35,7 @@ class Table1Config:
     k: int = 3
     mu: int = 15
     seed: int = 2008
-    engine: str = "batched"
-    jobs: int = 1
+    execution: str = "batched"
 
     @classmethod
     def paper_scale(cls) -> "Table1Config":
@@ -57,8 +56,9 @@ class Table1Runner(ExperimentRunner):
     """Table 1 as a pipeline spec: one workload point, an M sweep.
 
     The loop runs application-outer: each application's evaluator (and
-    with ``jobs > 1`` its shared-memory scenario segments) is reused
-    across the *whole* M sweep — baseline plus every tree size — and
+    under process sharding its shared-memory scenario segments) is
+    reused across the *whole* M sweep — baseline plus every tree size
+    — and
     released deterministically before the next application starts.
     Worker processes themselves belong to the run's
     :class:`~repro.pipeline.resources.ResourceManager` and are spawned
@@ -71,7 +71,7 @@ class Table1Runner(ExperimentRunner):
     """
 
     def __init__(self, config: Table1Config = Table1Config(), **kwargs):
-        super().__init__(engine=config.engine, jobs=config.jobs, **kwargs)
+        super().__init__(execution=config.execution, **kwargs)
         self.config = config
 
     def _run(self) -> List[Table1Row]:

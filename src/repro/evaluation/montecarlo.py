@@ -23,10 +23,17 @@ Two interchangeable engines execute the replay:
   bit-identical to both (falling back to the batched engine, with a
   counted reason, when no C compiler is available).
 
-``jobs > 1`` additionally shards the scenario range across
+Engine and parallelism are routed by one
+:class:`~repro.execution.ExecutionConfig` (``execution=`` — an
+instance or a spec string like ``"kernel@threads:8"``):
+``mode="processes"`` shards the scenario range across
 ``multiprocessing`` workers via
-:class:`~repro.runtime.engine.parallel.ParallelEvaluator`; sharding is
-deterministic and outcome-preserving for any job count.
+:class:`~repro.runtime.engine.parallel.ParallelEvaluator`,
+``mode="threads"`` across a GIL-free thread pool via
+:class:`~repro.runtime.engine.threads.ThreadedEvaluator`.  Sharding is
+deterministic and outcome-preserving for any mode and worker count.
+The pre-:class:`ExecutionConfig` keywords ``engine=``/``jobs=`` remain
+as deprecated aliases.
 """
 
 from __future__ import annotations
@@ -37,6 +44,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import RuntimeModelError
+from repro.execution import (
+    ENGINES,
+    ExecutionConfig,
+    choices_line,
+    resolve_execution,
+)
 from repro.faults.injection import ExecutionScenario, ScenarioSampler
 from repro.model.application import Application
 from repro.quasistatic.tree import QSTree
@@ -53,13 +66,10 @@ Plan = Union[QSTree, FSchedule]
 #: the reference loop (the whole set, for ``engine="reference"``).
 RawOutcome = Tuple[List[float], int, int, int, int]
 
-ENGINES = ("reference", "batched", "kernel")
-
-
 def _check_engine(engine: str) -> str:
     if engine not in ENGINES:
         raise RuntimeModelError(
-            f"unknown engine {engine!r}; expected one of {ENGINES}"
+            f"unknown engine {engine!r}; {choices_line()}"
         )
     return engine
 
@@ -142,13 +152,17 @@ class MonteCarloEvaluator:
         non-empty.
     seed:
         Seed of the scenario sampler.
-    engine:
-        ``"reference"`` (the oracle event loop), ``"batched"`` (the
-        array engine) or ``"kernel"`` (the generated-C engine);
-        results are identical, only speed differs.
-    jobs:
-        Worker processes; ``1`` runs in-process, more shard the
-        scenario range deterministically.
+    execution:
+        An :class:`~repro.execution.ExecutionConfig` or spec string
+        (``"reference"``, ``"kernel@threads:8"``,
+        ``"batched@processes:4"``) routing engine and parallelism;
+        defaults to the inline reference engine.  Results are
+        identical for every config, only speed differs.
+    engine, jobs:
+        Deprecated aliases (``engine=E, jobs=N`` ≡
+        ``execution=f"{E}@processes:{N}"``, inline for ``N == 1``);
+        they emit a :class:`DeprecationWarning` and cannot be combined
+        with ``execution=``.
     resources:
         An optional :class:`repro.pipeline.resources.ResourceManager`.
         When set, sharded evaluation borrows the manager's shared
@@ -157,25 +171,35 @@ class MonteCarloEvaluator:
         only this evaluator's shared-memory segments.
     """
 
+    #: The historical default routing (the oracle loop, inline).
+    DEFAULT_EXECUTION = ExecutionConfig(engine="reference")
+
     def __init__(
         self,
         app: Application,
         n_scenarios: int = 200,
         fault_counts: Optional[Sequence[int]] = None,
         seed: int = 1,
-        engine: str = "reference",
-        jobs: int = 1,
+        execution: Union[None, str, ExecutionConfig] = None,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
         resources=None,
     ):
         if n_scenarios < 1:
             raise RuntimeModelError("need at least one scenario")
-        if jobs < 1:
-            raise RuntimeModelError(f"jobs must be positive, got {jobs}")
         self.app = app
         self.n_scenarios = int(n_scenarios)
         self.seed = seed
-        self.engine = _check_engine(engine)
-        self.jobs = int(jobs)
+        self.execution = resolve_execution(
+            execution,
+            engine,
+            jobs,
+            base=self.DEFAULT_EXECUTION,
+            owner="MonteCarloEvaluator",
+        )
+        # Read-only legacy mirrors of the resolved routing.
+        self.engine = self.execution.engine
+        self.jobs = self.execution.workers
         self.resources = resources
         self.fault_counts = (
             list(fault_counts)
@@ -216,10 +240,11 @@ class MonteCarloEvaluator:
                 for durations, pattern in zip(duration_sets, patterns)
             ]
         self._batches: Dict[int, ScenarioBatch] = {}
-        # Persistent sharded evaluators, one per (engine, jobs): the
-        # worker pool and shared-memory scenario segments survive
-        # across evaluate()/compare() calls (see ParallelEvaluator).
-        self._parallel: Dict[Tuple[str, int], "ParallelEvaluator"] = {}
+        # Persistent sharded executors, one per ExecutionConfig: the
+        # worker pool / thread pool and shared-memory scenario
+        # segments survive across evaluate()/compare() calls (see
+        # ParallelEvaluator and ThreadedEvaluator).
+        self._executors: Dict[ExecutionConfig, object] = {}
 
     # ------------------------------------------------------------------
     # Simulation primitives (shared by in-process and sharded paths)
@@ -300,27 +325,34 @@ class MonteCarloEvaluator:
     def evaluate(
         self,
         plan: Plan,
+        execution: Union[None, str, ExecutionConfig] = None,
         engine: Optional[str] = None,
         jobs: Optional[int] = None,
     ) -> Dict[int, EvaluationOutcome]:
         """Run all scenario sets against ``plan``.
 
         Returns one :class:`EvaluationOutcome` per fault count.
-        ``engine``/``jobs`` override the evaluator-wide settings for
-        this call (the benches use this to time both engines on the
-        same scenario sets).
+        ``execution`` overrides the evaluator-wide routing for this
+        call (the benches use this to time several engines on the same
+        scenario sets); the deprecated ``engine``/``jobs`` keywords
+        override their respective halves of it.
         """
-        engine = self.engine if engine is None else _check_engine(engine)
-        jobs = self.jobs if jobs is None else int(jobs)
-        if jobs < 1:
-            raise RuntimeModelError(f"jobs must be positive, got {jobs}")
-        if jobs > 1:
-            if engine == "kernel":
+        config = resolve_execution(
+            execution,
+            engine,
+            jobs,
+            base=self.execution,
+            owner="MonteCarloEvaluator.evaluate",
+        )
+        if config.workers > 1 and config.mode != "inline":
+            if config.mode == "processes" and config.engine == "kernel":
                 # Warm the on-disk artifact cache parent-side so every
                 # worker loads the same prebuilt object instead of
-                # racing to compile it.
-                self._simulator_for(engine, plan)
-            return self.parallel(engine, jobs).evaluate(plan)
+                # racing to compile it.  (The threaded executor builds
+                # its shard simulators in-process itself.)
+                self._simulator_for(config.engine, plan)
+            return self.executor(config).evaluate(plan)
+        engine = config.engine
         outcomes: Dict[int, EvaluationOutcome] = {}
         if engine in ("batched", "kernel"):
             simulator = self._simulator_for(engine, plan)
@@ -345,36 +377,69 @@ class MonteCarloEvaluator:
         return {name: self.evaluate(plan) for name, plan in plans.items()}
 
     # ------------------------------------------------------------------
-    # Worker-pool lifecycle
+    # Executor lifecycle
     # ------------------------------------------------------------------
-    def parallel(self, engine: str, jobs: int) -> "ParallelEvaluator":
-        """The persistent sharded evaluator for (engine, jobs)."""
-        from repro.runtime.engine.parallel import ParallelEvaluator
+    def executor(self, execution: Union[str, ExecutionConfig]):
+        """The persistent sharded executor for one
+        :class:`~repro.execution.ExecutionConfig` (or spec string).
 
-        key = (engine, jobs)
-        evaluator = self._parallel.get(key)
-        if evaluator is None:
-            pool = None
-            if self.resources is not None and jobs > 1:
-                pool = self.resources.evaluation_pool(jobs)
-            evaluator = ParallelEvaluator(
-                self.app,
-                n_scenarios=self.n_scenarios,
-                fault_counts=self.fault_counts,
-                seed=self.seed,
-                engine=engine,
-                jobs=jobs,
-                source=self,
-                pool=pool,
+        ``mode="threads"`` configs get a
+        :class:`~repro.runtime.engine.threads.ThreadedEvaluator`, every
+        other config a
+        :class:`~repro.runtime.engine.parallel.ParallelEvaluator`;
+        each config's executor (its worker/thread pool and scenario
+        segments) is cached for the evaluator's lifetime.
+        """
+        config = ExecutionConfig.coerce(execution)
+        executor = self._executors.get(config)
+        if executor is None:
+            if config.mode == "threads":
+                from repro.runtime.engine.threads import ThreadedEvaluator
+
+                executor = ThreadedEvaluator(self, config)
+            else:
+                from repro.runtime.engine.parallel import ParallelEvaluator
+
+                pool = None
+                if self.resources is not None and config.workers > 1:
+                    pool = self.resources.evaluation_pool(config.workers)
+                executor = ParallelEvaluator(
+                    self.app,
+                    n_scenarios=self.n_scenarios,
+                    fault_counts=self.fault_counts,
+                    seed=self.seed,
+                    execution=config,
+                    source=self,
+                    pool=pool,
+                )
+            self._executors[config] = executor
+        return executor
+
+    def parallel(self, engine: str, jobs: int) -> "ParallelEvaluator":
+        """Deprecated: the process-sharding executor for (engine, jobs).
+
+        Alias for ``executor(f"{engine}@processes:{jobs}")``.
+        """
+        import warnings
+
+        warnings.warn(
+            "MonteCarloEvaluator.parallel(engine, jobs) is deprecated; "
+            "use executor('ENGINE@processes:N') / "
+            "executor(ExecutionConfig(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.executor(
+            ExecutionConfig(
+                engine=engine, mode="processes", workers=int(jobs)
             )
-            self._parallel[key] = evaluator
-        return evaluator
+        )
 
     def close(self) -> None:
-        """Release any worker pools and shared-memory segments."""
-        for evaluator in self._parallel.values():
-            evaluator.close()
-        self._parallel.clear()
+        """Release any worker/thread pools and shared-memory segments."""
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
 
     def __enter__(self) -> "MonteCarloEvaluator":
         return self

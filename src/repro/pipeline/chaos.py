@@ -81,6 +81,11 @@ class ChaosPlan:
         attempts (``repro.runtime.engine.kernel.build``) that fail
         deterministically — the simulator then degrades to the NumPy
         engine with a counted ``"chaos"`` reason, results unchanged.
+    thread_fail:
+        1-based indices into the process's sequence of threaded
+        evaluations (``repro.runtime.engine.threads``) that fail
+        deterministically — the evaluation then re-routes to process
+        sharding with a counted ``"chaos"`` reason, results unchanged.
     kill_budget:
         Optional cap on the *total* number of worker kills/hangs
         delivered, across every map call of the run.
@@ -94,6 +99,7 @@ class ChaosPlan:
     slow_request: Dict[int, float] = field(default_factory=dict)
     kill_run_after_rows: Optional[int] = None
     kernel_fail: FrozenSet[int] = frozenset()
+    thread_fail: FrozenSet[int] = frozenset()
     kill_budget: Optional[int] = None
     seed: int = 0
 
@@ -107,6 +113,8 @@ class ChaosPlan:
     slow_requests_injected: int = 0
     kernel_compiles_seen: int = 0
     kernel_failures_injected: int = 0
+    thread_evals_seen: int = 0
+    thread_failures_injected: int = 0
 
     def reset(self) -> None:
         self.kills_delivered = 0
@@ -118,6 +126,8 @@ class ChaosPlan:
         self.slow_requests_injected = 0
         self.kernel_compiles_seen = 0
         self.kernel_failures_injected = 0
+        self.thread_evals_seen = 0
+        self.thread_failures_injected = 0
 
     # ------------------------------------------------------------------
     # Hooks
@@ -180,6 +190,19 @@ class ChaosPlan:
                 f"{self.kernel_compiles_seen}"
             )
 
+    def thread_eval(self) -> None:
+        """Called at the start of every threaded evaluation; raises
+        :class:`RuntimeError` on the scheduled ones, which the threaded
+        executor surfaces as a counted ``"chaos"`` fallback to process
+        sharding (results unchanged, threads lost for that call)."""
+        self.thread_evals_seen += 1
+        if self.thread_evals_seen in self.thread_fail:
+            self.thread_failures_injected += 1
+            raise RuntimeError(
+                f"chaos: injected threaded-evaluation failure on "
+                f"attempt {self.thread_evals_seen}"
+            )
+
     def row_written(self) -> None:
         """Called after each journaled checkpoint row; raises
         :class:`ChaosKill` once the configured row count is reached.
@@ -209,6 +232,8 @@ class ChaosPlan:
         ``kill-run@N`` (after the Nth journaled row),
         ``kernel-fail@N`` (the Nth kernel compile attempt) /
         ``kernel-fail@A-B`` (every attempt in the range),
+        ``thread-fail@N`` (the Nth threaded evaluation) /
+        ``thread-fail@A-B`` (every evaluation in the range),
         ``budget@N``, ``seed@S``.
         """
         kill_worker: Dict[int, int] = {}
@@ -216,6 +241,7 @@ class ChaosPlan:
         store_fail = set()
         slow_request: Dict[int, float] = {}
         kernel_fail = set()
+        thread_fail = set()
         random_fail = None
         kill_run = None
         budget = None
@@ -265,7 +291,7 @@ class ChaosPlan:
                     )
                 elif name == "kill-run":
                     kill_run = int(value)
-                elif name == "kernel-fail":
+                elif name in ("kernel-fail", "thread-fail"):
                     match = re.fullmatch(r"(\d+)(?:-(\d+))?", value)
                     if not match:
                         raise ValueError(value)
@@ -273,7 +299,10 @@ class ChaosPlan:
                     hi = int(match.group(2) or lo)
                     if hi < lo:
                         raise ValueError(f"empty range {lo}-{hi}")
-                    kernel_fail.update(range(lo, hi + 1))
+                    target = (
+                        kernel_fail if name == "kernel-fail" else thread_fail
+                    )
+                    target.update(range(lo, hi + 1))
                 elif name == "budget":
                     budget = int(value)
                 elif name == "seed":
@@ -283,7 +312,7 @@ class ChaosPlan:
                         f"unknown chaos token {name!r} (know "
                         f"kill-worker, hang-worker, store-fail, "
                         f"slow-request, kill-run, kernel-fail, "
-                        f"budget, seed)"
+                        f"thread-fail, budget, seed)"
                     )
             except ValueError as exc:
                 if "chaos token" in str(exc):
@@ -302,6 +331,7 @@ class ChaosPlan:
             slow_request=slow_request,
             kill_run_after_rows=kill_run,
             kernel_fail=frozenset(kernel_fail),
+            thread_fail=frozenset(thread_fail),
             kill_budget=budget,
             seed=seed,
         )

@@ -52,7 +52,7 @@ FORMAT_VERSION = 1
 
 #: Config knobs masked out of the workload fingerprint: pure routing,
 #: proven result-neutral by the differential suites.
-_ROUTING_KNOBS = ("engine", "jobs")
+_ROUTING_KNOBS = ("engine", "jobs", "execution")
 
 
 def _canonical(data: Dict[str, Any]) -> str:

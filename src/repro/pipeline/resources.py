@@ -118,7 +118,7 @@ class ResourceManager:
         """A :class:`MonteCarloEvaluator` wired to the shared pools.
 
         Accepts the evaluator's keyword arguments (``n_scenarios``,
-        ``fault_counts``, ``seed``, ``engine``, ``jobs``).  Closing the
+        ``fault_counts``, ``seed``, ``execution``).  Closing the
         returned evaluator releases its scenario segments but leaves
         the shared pools running for the next application.
         """

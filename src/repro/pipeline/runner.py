@@ -40,6 +40,7 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.execution import ExecutionConfig, resolve_execution
 from repro.pipeline.resources import ResourceManager
 from repro.pipeline.store import TreeStore
 from repro.quasistatic.ftqs import FTQSConfig, ftqs
@@ -96,9 +97,11 @@ class ExperimentRunner:
 
     Parameters
     ----------
-    engine, jobs:
-        Monte-Carlo engine routing (per driver config before; now
-        shared).
+    execution:
+        Monte-Carlo routing — an
+        :class:`~repro.execution.ExecutionConfig` or spec string like
+        ``"kernel@threads:8"`` (per driver config before; now shared).
+        ``engine=``/``jobs=`` remain as deprecated aliases.
     synthesis, synthesis_jobs, stats:
         FTQS engine routing, as accepted by :func:`ftqs`.
     resources:
@@ -123,11 +126,16 @@ class ExperimentRunner:
         can share one).
     """
 
+    #: The drivers' historical default routing (the NumPy engine,
+    #: inline).
+    DEFAULT_EXECUTION = ExecutionConfig(engine="batched")
+
     def __init__(
         self,
         *,
-        engine: str = "batched",
-        jobs: int = 1,
+        execution=None,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
         synthesis: str = "fast",
         synthesis_jobs: int = 1,
         stats=None,
@@ -135,8 +143,16 @@ class ExperimentRunner:
         store: Optional[TreeStore] = None,
         checkpoint=None,
     ):
-        self.engine = engine
-        self.jobs = jobs
+        self.execution = resolve_execution(
+            execution,
+            engine,
+            jobs,
+            base=self.DEFAULT_EXECUTION,
+            owner="ExperimentRunner",
+        )
+        # Read-only legacy mirrors of the resolved routing.
+        self.engine = self.execution.engine
+        self.jobs = self.execution.workers
         self.synthesis = synthesis
         self.synthesis_jobs = synthesis_jobs
         self.stats = stats
@@ -202,8 +218,7 @@ class ExperimentRunner:
         evaluator (with its eager scenario sampling) is only built on
         the first journal miss.
         """
-        kwargs.setdefault("engine", self.engine)
-        kwargs.setdefault("jobs", self.jobs)
+        kwargs.setdefault("execution", self.execution)
         if self.checkpoint is None:
             return self.resources.evaluator(app, **kwargs)
         from repro.pipeline.checkpoint import JournalingEvaluator

@@ -30,12 +30,17 @@ top of it:
 * :mod:`repro.runtime.engine.parallel` — :class:`ParallelEvaluator`
   shards scenario sets across a persistent pool of
   ``multiprocessing`` workers that attach the batch arrays via shared
-  memory, and merges the outcomes.
+  memory, and merges the outcomes;
+* :mod:`repro.runtime.engine.threads` — :class:`ThreadedEvaluator`
+  shards the same ranges across a thread pool against the generated-C
+  kernel's GIL-releasing call (``ExecutionConfig`` mode
+  ``"threads"``), merging with the same helper — multi-core scaling
+  with no ``multiprocessing`` machinery at all.
 
 Every fast path is bit-identical to the oracle (asserted by
 ``tests/test_engine_differential.py``): utilities are accumulated in
 the oracle's completion order with the same IEEE-754 operations, so
-``--engine batched`` changes run time, never results.
+execution routing changes run time, never results.
 """
 
 from repro.runtime.engine.batch import ScenarioBatch
@@ -49,6 +54,7 @@ from repro.runtime.engine.compile import (
 from repro.runtime.engine.decisions import DecisionTables
 from repro.runtime.engine.parallel import ParallelEvaluator
 from repro.runtime.engine.simulator import BatchResult, BatchSimulator
+from repro.runtime.engine.threads import ThreadedEvaluator
 
 __all__ = [
     "BatchResult",
@@ -59,6 +65,7 @@ __all__ = [
     "DecisionTables",
     "ParallelEvaluator",
     "ScenarioBatch",
+    "ThreadedEvaluator",
     "compile_application",
     "compile_tree",
 ]

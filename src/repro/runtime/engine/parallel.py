@@ -58,6 +58,59 @@ def next_context_token() -> int:
     """A fresh parent-process-unique worker-context token."""
     return next(_CONTEXT_TOKENS)
 
+
+def shard_bounds(n_scenarios: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal scenario ranges, one per shard.
+
+    Deterministic in (``n_scenarios``, ``workers``) — the foundation of
+    outcome-preserving sharding for both the process and the thread
+    executors.
+    """
+    shards = min(workers, n_scenarios)
+    size, extra = divmod(n_scenarios, shards)
+    bounds = []
+    lo = 0
+    for shard in range(shards):
+        hi = lo + size + (1 if shard < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def merge_shard_outcomes(
+    fault_counts: Sequence[int], shards: Sequence[_ShardRaw]
+) -> Dict[int, "EvaluationOutcome"]:
+    """Merge per-shard raw results in shard (= scenario range) order.
+
+    Per-scenario results are independent of the slicing, so merging the
+    shards of :func:`shard_bounds` reproduces a single in-process run
+    bit for bit, for any shard count.  Shared by the process and the
+    thread executors.
+    """
+    from repro.evaluation.montecarlo import EvaluationOutcome
+
+    outcomes: Dict[int, EvaluationOutcome] = {}
+    for faults in fault_counts:
+        utilities: List[float] = []
+        misses = switches = observed = fallbacks = 0
+        for shard in shards:
+            (
+                shard_utilities,
+                shard_misses,
+                shard_switches,
+                shard_observed,
+                shard_fallbacks,
+            ) = shard[faults]
+            utilities.extend(shard_utilities)
+            misses += shard_misses
+            switches += shard_switches
+            observed += shard_observed
+            fallbacks += shard_fallbacks
+        outcomes[faults] = EvaluationOutcome.aggregate(
+            utilities, misses, switches, observed, fallbacks
+        )
+    return outcomes
+
 #: One shard's raw result per fault count: (utilities, misses, total
 #: switches, total observed faults, oracle fallbacks).
 _ShardRaw = Dict[int, Tuple[List[float], int, int, int, int]]
@@ -745,7 +798,14 @@ class ParallelEvaluator:
         jobs: int = 2,
         source=None,
         pool: Optional[TaskPool] = None,
+        execution=None,
     ):
+        from repro.execution import ExecutionConfig
+
+        if execution is not None:
+            execution = ExecutionConfig.coerce(execution)
+            engine = execution.engine
+            jobs = execution.workers
         if jobs < 1:
             raise RuntimeModelError(f"jobs must be positive, got {jobs}")
         self.app = app
@@ -758,6 +818,11 @@ class ParallelEvaluator:
         self.seed = seed
         self.engine = engine
         self.jobs = jobs
+        self.execution = execution or ExecutionConfig(
+            engine=engine,
+            mode="inline" if jobs == 1 else "processes",
+            workers=jobs,
+        )
         # A provided source (the owning MonteCarloEvaluator) is held
         # weakly: it owns *us*, and a strong back-reference would form
         # a cycle that delays pool/segment release until a cyclic GC
@@ -789,7 +854,6 @@ class ParallelEvaluator:
                 n_scenarios=self.n_scenarios,
                 fault_counts=self.fault_counts,
                 seed=self.seed,
-                jobs=1,
             )
         return self._own_source
 
@@ -912,25 +976,19 @@ class ParallelEvaluator:
 
     def _shard_bounds(self) -> List[Tuple[int, int]]:
         """Contiguous, near-equal scenario ranges, one per shard."""
-        shards = min(self.jobs, self.n_scenarios)
-        size, extra = divmod(self.n_scenarios, shards)
-        bounds = []
-        lo = 0
-        for shard in range(shards):
-            hi = lo + size + (1 if shard < extra else 0)
-            bounds.append((lo, hi))
-            lo = hi
-        return bounds
+        return shard_bounds(self.n_scenarios, self.jobs)
 
     def evaluate(self, plan) -> Dict[int, "EvaluationOutcome"]:
         """Run all scenario sets against ``plan`` across the workers."""
-        from repro.evaluation.montecarlo import EvaluationOutcome
+        from repro.execution import ExecutionConfig
 
         bounds = self._shard_bounds()
         if len(bounds) == 1:
             # One shard: simulate in-process over the cached packed
             # batches — no pool, no re-packing.
-            return self._source().evaluate(plan, engine=self.engine, jobs=1)
+            return self._source().evaluate(
+                plan, execution=ExecutionConfig(engine=self.engine)
+            )
         plan_key = self._plan_key(plan)
         tasks = [(plan_key, plan, lo, hi) for lo, hi in bounds]
         self._ensure_pool(len(tasks))
@@ -941,27 +999,7 @@ class ParallelEvaluator:
             )
         else:
             shards = self._pool.map(_simulate_slice, tasks)
-        outcomes: Dict[int, EvaluationOutcome] = {}
-        for faults in self.fault_counts:
-            utilities: List[float] = []
-            misses = switches = observed = fallbacks = 0
-            for shard in shards:
-                (
-                    shard_utilities,
-                    shard_misses,
-                    shard_switches,
-                    shard_observed,
-                    shard_fallbacks,
-                ) = shard[faults]
-                utilities.extend(shard_utilities)
-                misses += shard_misses
-                switches += shard_switches
-                observed += shard_observed
-                fallbacks += shard_fallbacks
-            outcomes[faults] = EvaluationOutcome.aggregate(
-                utilities, misses, switches, observed, fallbacks
-            )
-        return outcomes
+        return merge_shard_outcomes(self.fault_counts, shards)
 
     def compare(self, plans) -> Dict[str, Dict[int, "EvaluationOutcome"]]:
         """Evaluate several named plans over one persistent pool."""

@@ -58,10 +58,11 @@ class ServiceConfig:
 
     host: str = "127.0.0.1"
     port: int = 8080
-    jobs: int = 1
+    #: Monte-Carlo routing: an ExecutionConfig or a spec string like
+    #: "kernel@threads:8" (see repro.execution).
+    execution: Any = "batched"
     synthesis_jobs: int = 1
     synthesis: str = "fast"
-    engine: str = "batched"
     max_inflight: int = 4
     max_queue: int = 16
     #: Per-request wall-clock deadline in seconds (``None`` = none).
@@ -121,7 +122,10 @@ class ServiceState:
         from repro.pipeline.resources import ResourceManager
         from repro.quasistatic.synthesis import SynthesisStats
 
+        from repro.execution import ExecutionConfig
+
         self.config = config
+        self.execution = ExecutionConfig.coerce(config.execution)
         self.store = config.store
         self.resources = ResourceManager(store=config.store)
         self.queue = WorkQueue(
@@ -135,8 +139,9 @@ class ServiceState:
         self._stats_lock = threading.Lock()
         self._store_lock = threading.Lock()
         # The shared TaskPools expect one map() at a time; compute
-        # requests that actually route jobs>1 take this lock, so the
-        # parallel engines and the threaded service compose safely.
+        # requests that actually route sharded execution (workers > 1)
+        # take this lock, so the parallel engines and the threaded
+        # service compose safely.
         self._pool_lock = threading.Lock()
         self._locked_store = (
             _LockedStore(self.store, self._store_lock)
@@ -240,6 +245,43 @@ class ServiceState:
         except (TypeError, ValueError) as exc:
             raise ValidationFailed(f"bad config: {exc}")
 
+    def _execution_from(self, payload: Dict[str, Any]):
+        """The request's Monte-Carlo routing.
+
+        ``executor`` (a spec string like ``"kernel@threads:8"``)
+        replaces the server's configured routing for this request;
+        ``engine`` (deprecated) overrides just the engine of it.  A
+        malformed spec fails with the library's one-line enumeration
+        of valid engines and modes.
+        """
+        from repro.errors import RuntimeModelError
+        from repro.execution import ExecutionConfig
+
+        if "executor" in payload:
+            if "engine" in payload:
+                raise ValidationFailed(
+                    "pass either 'executor' or the deprecated "
+                    "'engine', not both"
+                )
+            spec = payload["executor"]
+            if not isinstance(spec, str):
+                raise ValidationFailed(
+                    "'executor' must be a spec string like "
+                    "'kernel@threads:8'"
+                )
+            try:
+                return ExecutionConfig.parse(spec)
+            except RuntimeModelError as exc:
+                raise ValidationFailed(str(exc))
+        if "engine" in payload:
+            try:
+                return dataclasses.replace(
+                    self.execution, engine=payload["engine"]
+                )
+            except RuntimeModelError as exc:
+                raise ValidationFailed(str(exc))
+        return self.execution
+
     # ------------------------------------------------------------------
     # Chaos
     # ------------------------------------------------------------------
@@ -334,7 +376,7 @@ class ServiceState:
         app = self._decode_application(payload)
         known = {
             "application", "tree", "config", "max_schedules",
-            "scenarios", "seed", "fault_counts", "engine",
+            "scenarios", "seed", "fault_counts", "engine", "executor",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -347,11 +389,11 @@ class ServiceState:
             tree = tree_from_dict(app, payload["tree"])
         else:
             tree, _ = self._build_tree(app, self._config_from(payload))
-        engine = payload.get("engine", self.config.engine)
+        execution = self._execution_from(payload)
         fault_counts = payload.get("fault_counts")
         pool_guard = (
             self._pool_lock
-            if self.config.jobs > 1
+            if execution.workers > 1
             else contextlib.nullcontext()
         )
         with pool_guard:
@@ -360,13 +402,13 @@ class ServiceState:
                 n_scenarios=payload.get("scenarios", 200),
                 fault_counts=fault_counts,
                 seed=payload.get("seed", 1),
-                engine=engine,
-                jobs=self.config.jobs,
+                execution=execution,
             )
             with evaluator:
                 outcomes = evaluator.evaluate(tree)
         body = {
-            "engine": engine,
+            "engine": execution.engine,
+            "executor": execution.spec(),
             "scenarios": payload.get("scenarios", 200),
             "outcomes": {
                 str(faults): {
@@ -434,6 +476,7 @@ class ServiceState:
         """The ``/metrics`` JSON snapshot."""
         from repro.runtime.engine.kernel import kernel_stats
         from repro.runtime.engine.parallel import pool_recovery
+        from repro.runtime.engine.threads import thread_stats
 
         with self._endpoint_lock:
             requests = {
@@ -466,6 +509,10 @@ class ServiceState:
             "store": store,
             "pool": dataclasses.asdict(pool_recovery()),
             "kernel": kernel_stats().as_dict(),
+            "execution": {
+                "executor": self.execution.spec(),
+                "threads": thread_stats().as_dict(),
+            },
         }
 
     # ------------------------------------------------------------------

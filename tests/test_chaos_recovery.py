@@ -113,9 +113,10 @@ class TestPoolRecovery:
 # ----------------------------------------------------------------------
 class TestEvaluationBitIdentity:
     def _evaluate(self, app, plan_obj, jobs):
+        spec = "batched" if jobs == 1 else f"batched@processes:{jobs}"
         with MonteCarloEvaluator(
             app, n_scenarios=24, fault_counts=[0, 1], seed=3,
-            engine="batched", jobs=jobs,
+            execution=spec,
         ) as evaluator:
             return evaluator.evaluate(plan_obj)
 

@@ -237,8 +237,8 @@ def test_kernel_evaluator_outcomes_identical(fig1_app, kernel_cache):
     """engine="kernel" aggregates to the same outcomes, field for field."""
     evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=60, seed=9)
     plan = ftqs(fig1_app, ftss(fig1_app), FTQSConfig(max_schedules=6))
-    by_batch = evaluator.evaluate(plan, engine="batched")
-    by_kernel = evaluator.evaluate(plan, engine="kernel")
+    by_batch = evaluator.evaluate(plan, execution="batched")
+    by_kernel = evaluator.evaluate(plan, execution="kernel")
     assert set(by_batch) == set(by_kernel)
     for faults in by_batch:
         bat, ker = by_batch[faults], by_kernel[faults]
@@ -259,8 +259,10 @@ def test_kernel_parallel_sharding_is_outcome_preserving(
     )
     plan = ftss(fig1_app)
     with evaluator:
-        serial = evaluator.evaluate(plan, engine="kernel", jobs=1)
-        sharded = evaluator.evaluate(plan, engine="kernel", jobs=2)
+        serial = evaluator.evaluate(plan, execution="kernel")
+        sharded = evaluator.evaluate(
+            plan, execution="kernel@processes:2"
+        )
     for faults in serial:
         assert sharded[faults].utilities == serial[faults].utilities
 
@@ -356,8 +358,8 @@ def test_evaluator_outcomes_identical_across_engines(fig1_app):
     """Aggregated outcomes match engine-for-engine, field for field."""
     evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=60, seed=9)
     plan = ftqs(fig1_app, ftss(fig1_app), FTQSConfig(max_schedules=6))
-    by_reference = evaluator.evaluate(plan, engine="reference")
-    by_batch = evaluator.evaluate(plan, engine="batched")
+    by_reference = evaluator.evaluate(plan, execution="reference")
+    by_batch = evaluator.evaluate(plan, execution="batched")
     assert set(by_reference) == set(by_batch)
     for faults in by_reference:
         ref, bat = by_reference[faults], by_batch[faults]
@@ -375,9 +377,11 @@ def test_parallel_sharding_is_outcome_preserving(fig1_app):
         fig1_app, n_scenarios=25, fault_counts=[0, 1], seed=4
     )
     plan = ftss(fig1_app)
-    serial = evaluator.evaluate(plan, engine="batched", jobs=1)
+    serial = evaluator.evaluate(plan, execution="batched")
     for jobs in (2, 3):
-        sharded = evaluator.evaluate(plan, engine="batched", jobs=jobs)
+        sharded = evaluator.evaluate(
+            plan, execution=f"batched@processes:{jobs}"
+        )
         for faults in serial:
             assert sharded[faults].utilities == serial[faults].utilities
             assert (
@@ -396,8 +400,10 @@ def test_parallel_reference_engine_matches_too(fig1_app):
         fig1_app, n_scenarios=12, fault_counts=[0], seed=4
     )
     plan = ftss(fig1_app)
-    serial = evaluator.evaluate(plan, engine="reference", jobs=1)
-    sharded = evaluator.evaluate(plan, engine="reference", jobs=2)
+    serial = evaluator.evaluate(plan, execution="reference")
+    sharded = evaluator.evaluate(
+        plan, execution="reference@processes:2"
+    )
     assert sharded[0].utilities == serial[0].utilities
 
 

@@ -89,7 +89,7 @@ class TestMonteCarloEvaluator:
         root = ftss(fig1_app)
         tree = ftqs(fig1_app, root, FTQSConfig(max_schedules=4))
         evaluator = MonteCarloEvaluator(
-            fig1_app, n_scenarios=25, seed=13, engine=engine
+            fig1_app, n_scenarios=25, seed=13, execution=engine
         )
         snapshot = {
             f: [
@@ -132,16 +132,22 @@ class TestMonteCarloEvaluator:
 
     def test_unknown_engine_rejected(self, fig1_app):
         with pytest.raises(RuntimeModelError):
-            MonteCarloEvaluator(fig1_app, n_scenarios=5, engine="warp")
+            MonteCarloEvaluator(
+                fig1_app, n_scenarios=5, execution="warp"
+            )
         evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=5)
         with pytest.raises(RuntimeModelError):
+            evaluator.evaluate(ftss(fig1_app), execution="warp")
+        with pytest.raises(RuntimeModelError), pytest.deprecated_call():
             evaluator.evaluate(ftss(fig1_app), engine="warp")
 
     def test_non_positive_jobs_rejected(self, fig1_app):
         with pytest.raises(RuntimeModelError):
-            MonteCarloEvaluator(fig1_app, n_scenarios=5, jobs=0)
+            MonteCarloEvaluator(
+                fig1_app, n_scenarios=5, execution="batched@processes:0"
+            )
         evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=5)
-        with pytest.raises(RuntimeModelError):
+        with pytest.raises(RuntimeModelError), pytest.deprecated_call():
             evaluator.evaluate(ftss(fig1_app), jobs=0)
 
     def test_seed_determinism(self, fig1_app):

@@ -1,0 +1,290 @@
+"""The unified ExecutionConfig API (spec grammar, legacy aliases).
+
+Pins the contract of :mod:`repro.execution`: the
+``ENGINE[@MODE[:WORKERS]]`` spec grammar round-trips, every malformed
+spec fails with the one-line enumeration of valid engines *and* modes,
+and the deprecated ``engine=``/``jobs=`` keywords keep working — same
+results, plus a :class:`DeprecationWarning` — across the evaluator,
+the experiment runner and the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.evaluation.montecarlo import MonteCarloEvaluator
+from repro.execution import (
+    ENGINES,
+    MODES,
+    ExecutionConfig,
+    choices_line,
+    resolve_execution,
+)
+from repro.scheduling.ftss import ftss
+
+CHOICES = (
+    "valid engines: reference, batched, kernel; "
+    "valid modes: inline, processes, threads"
+)
+
+
+# ----------------------------------------------------------------------
+# Spec grammar
+# ----------------------------------------------------------------------
+class TestSpecGrammar:
+    @pytest.mark.parametrize(
+        "spec, engine, mode, workers",
+        [
+            ("reference", "reference", "inline", 1),
+            ("batched", "batched", "inline", 1),
+            ("kernel", "kernel", "inline", 1),
+            ("kernel@threads:8", "kernel", "threads", 8),
+            ("batched@processes:4", "batched", "processes", 4),
+            ("reference@processes", "reference", "processes", 1),
+            ("  kernel@threads:2  ", "kernel", "threads", 2),
+        ],
+    )
+    def test_parse(self, spec, engine, mode, workers):
+        config = ExecutionConfig.parse(spec)
+        assert (config.engine, config.mode, config.workers) == (
+            engine, mode, workers
+        )
+
+    @pytest.mark.parametrize(
+        "spec", ["reference", "kernel@threads:8", "batched@processes:4"]
+    )
+    def test_spec_round_trips(self, spec):
+        assert ExecutionConfig.parse(spec).spec() == spec
+
+    def test_choices_line_matches_tuples(self):
+        assert choices_line() == CHOICES
+        for engine in ENGINES:
+            assert engine in CHOICES
+        for mode in MODES:
+            assert mode in CHOICES
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "warp",                  # unknown engine
+            "kernel@fibers:2",       # unknown mode
+            "kernel@threads:0",      # non-positive workers
+            "batched:4",             # engine "batched:4"
+            "",                      # empty
+        ],
+    )
+    def test_bad_specs_enumerate_choices_in_one_line(self, spec):
+        with pytest.raises(RuntimeModelError) as excinfo:
+            ExecutionConfig.parse(spec)
+        message = str(excinfo.value)
+        assert CHOICES in message
+        assert "\n" not in message
+
+    def test_non_integer_worker_count(self):
+        with pytest.raises(RuntimeModelError) as excinfo:
+            ExecutionConfig.parse("kernel@threads:many")
+        assert "'many' is not an integer" in str(excinfo.value)
+
+    def test_inline_is_single_worker(self):
+        with pytest.raises(RuntimeModelError) as excinfo:
+            ExecutionConfig(engine="kernel", mode="inline", workers=4)
+        assert "@processes:4" in str(excinfo.value)
+
+    def test_hashable_and_cache_key_semantics(self):
+        a = ExecutionConfig.parse("kernel@threads:4")
+        b = ExecutionConfig.parse("kernel@threads:4")
+        c = ExecutionConfig.parse("kernel@threads:8")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_coerce(self):
+        config = ExecutionConfig.parse("kernel@threads:2")
+        assert ExecutionConfig.coerce(config) is config
+        assert ExecutionConfig.coerce("kernel@threads:2") == config
+        assert ExecutionConfig.coerce(None) == ExecutionConfig()
+        with pytest.raises(RuntimeModelError):
+            ExecutionConfig.coerce(4)
+
+
+# ----------------------------------------------------------------------
+# Legacy keyword resolution
+# ----------------------------------------------------------------------
+class TestLegacyResolution:
+    def test_from_legacy_maps_jobs_onto_processes(self):
+        assert ExecutionConfig.from_legacy("kernel", 4).spec() == (
+            "kernel@processes:4"
+        )
+        assert ExecutionConfig.from_legacy("kernel", 1).spec() == "kernel"
+        assert ExecutionConfig.from_legacy(None, None).spec() == "batched"
+        with pytest.raises(RuntimeModelError):
+            ExecutionConfig.from_legacy("batched", 0)
+
+    def test_resolve_warns_on_legacy_keywords(self):
+        with pytest.deprecated_call():
+            config = resolve_execution(engine="kernel", jobs=4)
+        assert config.spec() == "kernel@processes:4"
+
+    def test_resolve_rejects_mixing_new_and_legacy(self):
+        with pytest.raises(RuntimeModelError), pytest.deprecated_call():
+            resolve_execution("kernel@threads:2", engine="batched")
+
+    def test_legacy_jobs_override_keeps_base_mode(self):
+        base = ExecutionConfig.parse("kernel@threads:8")
+        with pytest.deprecated_call():
+            config = resolve_execution(jobs=2, base=base)
+        assert config.spec() == "kernel@threads:2"
+        with pytest.deprecated_call():
+            config = resolve_execution(jobs=1, base=base)
+        assert config.spec() == "kernel"
+
+    def test_legacy_engine_override_keeps_base_routing(self):
+        base = ExecutionConfig.parse("batched@processes:4")
+        with pytest.deprecated_call():
+            config = resolve_execution(engine="kernel", base=base)
+        assert config.spec() == "kernel@processes:4"
+
+    def test_resolve_defaults_to_base(self):
+        base = ExecutionConfig.parse("kernel@threads:8")
+        assert resolve_execution(base=base) is base
+        assert resolve_execution() == ExecutionConfig()
+
+
+# ----------------------------------------------------------------------
+# Evaluator integration
+# ----------------------------------------------------------------------
+class TestEvaluatorIntegration:
+    def test_default_execution_is_reference_inline(self, fig1_app):
+        evaluator = MonteCarloEvaluator(fig1_app, n_scenarios=5)
+        assert evaluator.execution.spec() == "reference"
+        assert (evaluator.engine, evaluator.jobs) == ("reference", 1)
+
+    def test_constructor_legacy_keywords_warn_but_match(self, fig1_app):
+        plan = ftss(fig1_app)
+        with MonteCarloEvaluator(
+            fig1_app, n_scenarios=15, fault_counts=[0, 1], seed=3,
+            execution="batched@processes:2",
+        ) as modern:
+            expected = modern.evaluate(plan)
+        with pytest.deprecated_call():
+            legacy = MonteCarloEvaluator(
+                fig1_app, n_scenarios=15, fault_counts=[0, 1], seed=3,
+                engine="batched", jobs=2,
+            )
+        with legacy:
+            assert legacy.execution.spec() == "batched@processes:2"
+            assert legacy.evaluate(plan) == expected
+
+    def test_evaluate_legacy_keywords_warn_but_match(self, fig1_app):
+        plan = ftss(fig1_app)
+        with MonteCarloEvaluator(
+            fig1_app, n_scenarios=15, fault_counts=[0], seed=3
+        ) as evaluator:
+            expected = evaluator.evaluate(plan, execution="batched")
+            with pytest.deprecated_call():
+                assert (
+                    evaluator.evaluate(plan, engine="batched") == expected
+                )
+
+    def test_evaluate_rejects_mixing_new_and_legacy(self, fig1_app):
+        with MonteCarloEvaluator(
+            fig1_app, n_scenarios=5, fault_counts=[0]
+        ) as evaluator:
+            with pytest.raises(RuntimeModelError), pytest.deprecated_call():
+                evaluator.evaluate(
+                    ftss(fig1_app), execution="batched", jobs=2
+                )
+
+    def test_runner_legacy_keywords_warn(self, fig1_app):
+        from repro.pipeline.runner import ExperimentRunner
+
+        assert ExperimentRunner().execution.spec() == "batched"
+        with pytest.deprecated_call():
+            runner = ExperimentRunner(engine="kernel", jobs=2)
+        assert runner.execution.spec() == "kernel@processes:2"
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+@pytest.fixture
+def app_and_tree(tmp_path, fig1_app):
+    from repro.cli import main
+    from repro.io.json_io import application_to_dict, save_json
+
+    app_path = str(tmp_path / "app.json")
+    save_json(application_to_dict(fig1_app), app_path)
+    assert main(["schedule", app_path, "--schedules", "4"]) == 0
+    return app_path, app_path.replace(".json", ".tree.json")
+
+
+class TestCLI:
+    def test_executor_spec_routes_simulate(self, app_and_tree, capsys):
+        from repro.cli import main
+
+        app_path, tree_path = app_and_tree
+        capsys.readouterr()
+        assert main(
+            [
+                "simulate", app_path, tree_path, "--scenarios", "20",
+                "--executor", "batched@processes:2",
+            ]
+        ) == 0
+        assert "0 faults" in capsys.readouterr().out
+
+    def test_bad_executor_spec_exits_2_with_choices(
+        self, app_and_tree, capsys
+    ):
+        from repro.cli import main
+
+        app_path, tree_path = app_and_tree
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "simulate", app_path, tree_path,
+                    "--executor", "warp@fibers:2",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert CHOICES in capsys.readouterr().err
+
+    def test_bad_engine_alias_exits_2_with_choices(
+        self, app_and_tree, capsys
+    ):
+        from repro.cli import main
+
+        app_path, tree_path = app_and_tree
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["simulate", app_path, tree_path, "--engine", "warp"]
+            )
+        assert excinfo.value.code == 2
+        assert CHOICES in capsys.readouterr().err
+
+    def test_engine_jobs_aliases_still_route(self, app_and_tree, capsys):
+        from repro.cli import main
+
+        app_path, tree_path = app_and_tree
+        capsys.readouterr()
+        assert main(
+            [
+                "simulate", app_path, tree_path, "--scenarios", "20",
+                "--engine", "batched", "--jobs", "2",
+            ]
+        ) == 0
+        assert "0 faults" in capsys.readouterr().out
+
+    def test_executor_conflicts_with_aliases(self, app_and_tree):
+        from repro.cli import main
+
+        app_path, tree_path = app_and_tree
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "simulate", app_path, tree_path,
+                    "--executor", "kernel@threads:2",
+                    "--jobs", "4",
+                ]
+            )
+        assert "--executor supersedes" in str(excinfo.value)

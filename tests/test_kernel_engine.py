@@ -167,9 +167,11 @@ def test_no_compiler_evaluator_and_jobs_still_complete(
         fig1_app, n_scenarios=20, fault_counts=[0, 1], seed=5
     )
     with evaluator:
-        by_batch = evaluator.evaluate(tree, engine="batched")
-        by_kernel = evaluator.evaluate(tree, engine="kernel")
-        sharded = evaluator.evaluate(tree, engine="kernel", jobs=2)
+        by_batch = evaluator.evaluate(tree, execution="batched")
+        by_kernel = evaluator.evaluate(tree, execution="kernel")
+        sharded = evaluator.evaluate(
+            tree, execution="kernel@processes:2"
+        )
     for faults in by_batch:
         assert by_kernel[faults].utilities == by_batch[faults].utilities
         assert sharded[faults].utilities == by_batch[faults].utilities

@@ -34,7 +34,7 @@ def test_pool_spawned_once_across_evaluates(fig1_app, counted_spawns):
     plan = ftss(fig1_app)
     with MonteCarloEvaluator(
         fig1_app, n_scenarios=20, fault_counts=[0, 1], seed=3,
-        engine="batched", jobs=2,
+        execution="batched@processes:2",
     ) as evaluator:
         first = evaluator.evaluate(plan)
         second = evaluator.evaluate(plan)
@@ -47,17 +47,26 @@ def test_pool_spawned_once_across_evaluates(fig1_app, counted_spawns):
         assert compared["a"][faults].utilities == first[faults].utilities
 
 
-def test_montecarlo_caches_parallel_evaluator(fig1_app):
+def test_montecarlo_caches_executors(fig1_app):
+    """Executors are cached per ExecutionConfig; the deprecated
+    ``parallel()`` alias resolves to the same cached object."""
     evaluator = MonteCarloEvaluator(
         fig1_app, n_scenarios=5, fault_counts=[0], seed=3
     )
     try:
-        assert evaluator.parallel("batched", 2) is (
-            evaluator.parallel("batched", 2)
+        assert evaluator.executor("batched@processes:2") is (
+            evaluator.executor("batched@processes:2")
         )
-        assert evaluator.parallel("batched", 2) is not (
-            evaluator.parallel("batched", 3)
+        assert evaluator.executor("batched@processes:2") is not (
+            evaluator.executor("batched@processes:3")
         )
+        assert evaluator.executor("kernel@threads:2") is not (
+            evaluator.executor("batched@processes:2")
+        )
+        with pytest.deprecated_call():
+            assert evaluator.parallel("batched", 2) is (
+                evaluator.executor("batched@processes:2")
+            )
     finally:
         evaluator.close()
 
@@ -67,7 +76,7 @@ def test_single_shard_runs_in_process(fig1_app, counted_spawns):
     plan = ftss(fig1_app)
     with ParallelEvaluator(
         fig1_app, n_scenarios=8, fault_counts=[0], seed=5,
-        engine="batched", jobs=1,
+        execution="batched",
     ) as evaluator:
         evaluator.evaluate(plan)
     assert counted_spawns == []
@@ -78,7 +87,7 @@ def test_close_releases_and_respawns(fig1_app, counted_spawns):
     plan = ftss(fig1_app)
     evaluator = ParallelEvaluator(
         fig1_app, n_scenarios=16, fault_counts=[0], seed=7,
-        engine="batched", jobs=2,
+        execution="batched@processes:2",
     )
     try:
         before = evaluator.evaluate(plan)
@@ -158,12 +167,12 @@ def test_one_evaluation_pool_across_applications(counted_manager_spawns):
         for app, root in _schedulable_apps(3):
             with resources.evaluator(
                 app, n_scenarios=12, fault_counts=[0, 1], seed=3,
-                engine="batched", jobs=2,
+                execution="batched@processes:2",
             ) as evaluator:
                 shared = evaluator.evaluate(root)
             with MonteCarloEvaluator(
                 app, n_scenarios=12, fault_counts=[0, 1], seed=3,
-                engine="batched", jobs=1,
+                execution="batched",
             ) as evaluator:
                 single = evaluator.evaluate(root)
             for faults in (0, 1):
@@ -179,20 +188,15 @@ def test_one_evaluation_pool_across_applications(counted_manager_spawns):
 def test_driver_sweep_spawns_one_pool_per_kind(counted_manager_spawns):
     """End-to-end: a Table 1 run with evaluation and synthesis jobs
     spawns one pool of each kind, not one per application or per M."""
-    from dataclasses import replace
-
     from repro.evaluation.experiments.table1 import (
         Table1Config,
         run_table1,
     )
     from repro.pipeline.resources import ResourceManager
 
-    config = replace(
-        Table1Config(
-            tree_sizes=(1, 2, 4), n_apps=2, n_processes=10,
-            n_scenarios=16, seed=5,
-        ),
-        jobs=2,
+    config = Table1Config(
+        tree_sizes=(1, 2, 4), n_apps=2, n_processes=10,
+        n_scenarios=16, seed=5, execution="batched@processes:2",
     )
     with ResourceManager() as resources:
         rows = run_table1(
@@ -211,8 +215,10 @@ def test_outcomes_carry_fallback_counts(fig1_app):
     with MonteCarloEvaluator(
         fig1_app, n_scenarios=12, fault_counts=[0, 1], seed=9
     ) as evaluator:
-        batched = evaluator.evaluate(plan, engine="batched", jobs=2)
-        reference = evaluator.evaluate(plan, engine="reference", jobs=2)
+        batched = evaluator.evaluate(plan, execution="batched@processes:2")
+        reference = evaluator.evaluate(
+            plan, execution="reference@processes:2"
+        )
     for faults in (0, 1):
         assert batched[faults].fallbacks == 0
         assert batched[faults].fast_path_share == 1.0

@@ -108,6 +108,12 @@ def test_probes_and_metrics(fig1_payload):
         assert set(metrics["kernel"]) == {
             "compiles", "cache_hits", "fallbacks", "oracle_scenarios",
         }
+        # So are the execution-routing counters: the configured
+        # executor spec plus the threaded executor's activity.
+        assert metrics["execution"]["executor"] == "batched"
+        assert set(metrics["execution"]["threads"]) == {
+            "evaluations", "shards", "fallbacks",
+        }
 
 
 # ----------------------------------------------------------------------
@@ -238,6 +244,59 @@ def test_evaluate_roundtrip(fig1_payload):
         status, body, _ = http_post(
             handle.url + "/v1/evaluate",
             {"application": fig1_payload["application"], "scenario": 1},
+        )
+        assert (status, error_code(body)) == (400, "invalid-request")
+
+
+def test_evaluate_executor_field_routes_request(fig1_payload):
+    """'executor' picks the routing per request; the response echoes
+    the resolved spec, and results match the server default."""
+    with service() as handle:
+        status, tree_bytes, _ = http_post(
+            handle.url + "/v1/schedule", fig1_payload
+        )
+        assert status == 200
+        request = {
+            "application": fig1_payload["application"],
+            "tree": json.loads(tree_bytes),
+            "scenarios": 30,
+            "seed": 3,
+        }
+        status, default_body, _ = http_post(
+            handle.url + "/v1/evaluate", request
+        )
+        assert status == 200
+        default = json.loads(default_body)
+        assert default["executor"] == "batched"
+
+        status, body, _ = http_post(
+            handle.url + "/v1/evaluate",
+            dict(request, executor="batched@processes:2"),
+        )
+        assert status == 200
+        sharded = json.loads(body)
+        assert sharded["executor"] == "batched@processes:2"
+        assert sharded["engine"] == "batched"
+        assert sharded["outcomes"] == default["outcomes"]
+
+        # The deprecated bare 'engine' field still swaps the engine.
+        status, body, _ = http_post(
+            handle.url + "/v1/evaluate", dict(request, engine="reference")
+        )
+        assert status == 200
+        assert json.loads(body)["executor"] == "reference"
+
+        # Malformed specs and field conflicts fail with the library's
+        # enumerating one-liner, not a traceback.
+        status, body, _ = http_post(
+            handle.url + "/v1/evaluate",
+            dict(request, executor="warp@fibers:2"),
+        )
+        assert (status, error_code(body)) == (400, "invalid-request")
+        assert "valid engines:" in json.loads(body)["error"]["message"]
+        status, body, _ = http_post(
+            handle.url + "/v1/evaluate",
+            dict(request, executor="batched", engine="kernel"),
         )
         assert (status, error_code(body)) == (400, "invalid-request")
 

@@ -112,6 +112,34 @@ def test_gate_ignores_job_comparison_axes(gate, tmp_path):
     assert gate.main([str(path)]) == 0
 
 
+def test_gate_ignores_kernel_threads_axis(gate, tmp_path, capsys):
+    """The threads-vs-processes axis is CPU-bound like the jobs ones:
+    gated in the bench itself, never by the trajectory."""
+    assert not gate.is_floor_axis("cc/compare-kernel-threads")
+    assert gate.is_floor_axis("cc/ftqs-8/f=1/kernel-vs-batched")
+    entries = [
+        _entry(**{"cc/compare-kernel-threads": 2.0}),
+        _entry(**{"cc/compare-kernel-threads": 0.3}),
+    ]
+    path = _write(tmp_path, "BENCH_engine.json", entries)
+    assert gate.main([str(path)]) == 0
+    assert "CPU-bound comparison axis" in capsys.readouterr().out
+
+
+def test_gate_drops_small_box_threads_rows_from_baselines(gate, tmp_path):
+    """Historical threads rows measured on < 4 CPUs never feed a
+    baseline (same dropping rule as the jobs rows)."""
+    small = {
+        "label": "cc/compare-kernel-threads",
+        "cpu_count": 1,
+        "speedup": 0.2,
+    }
+    assert gate.is_skipped_row("cc/compare-kernel-threads", small)
+    assert not gate.is_skipped_row(
+        "cc/compare-kernel-threads", dict(small, cpu_count=8)
+    )
+
+
 def test_gate_handles_short_and_new_axes(gate, tmp_path, capsys):
     single = _write(tmp_path, "single.json", [_entry(**{"cc/f=0": 10.0})])
     assert gate.main([str(single)]) == 0
