@@ -93,12 +93,14 @@ def trajectory():
     _ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
 
 
-def _time_engine(evaluator, plan, engine, rounds=2, repack=True):
+def _time_engine(evaluator, plan, engine, rounds=3, repack=True):
     """Best-of-``rounds`` wall time (min damps scheduler noise on
-    loaded boxes).  With ``repack`` (the default) the batch cache is
-    cleared before every round so each one pays the full end-to-end
-    cost, packing included; the kernel axes pass ``repack=False`` to
-    time the engines on already-packed scenario sets."""
+    loaded boxes; three rounds because a single descheduling spike on
+    a 1-CPU box routinely survives two and trips the ±20% trajectory
+    gate).  With ``repack`` (the default) the batch cache is cleared
+    before every round so each one pays the full end-to-end cost,
+    packing included; the kernel axes pass ``repack=False`` to time
+    the engines on already-packed scenario sets."""
     best = None
     outcomes = None
     for _ in range(rounds):

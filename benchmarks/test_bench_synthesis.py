@@ -78,10 +78,12 @@ def trajectory():
     _ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
 
 
-def _best_of(builder, rounds=2):
+def _best_of(builder, rounds=3):
     """Best-of-``rounds`` wall time; every round rebuilds from cold
-    state (a fresh engine per call), so memo warm-up cannot flatter the
-    measurement."""
+    state (a fresh engine per call), so memo warm-up cannot flatter
+    the measurement.  Three rounds, not two: a single descheduling
+    spike on a 1-CPU box routinely survives two rounds and trips the
+    ±20% trajectory gate."""
     best = None
     result = None
     for _ in range(rounds):
@@ -168,20 +170,21 @@ def test_synthesis_parallel_candidate_layer(table1_app, trajectory):
         f"\n[synthesis/table1/jobs] jobs=1 {t_serial:.3f}s  "
         f"jobs=4 {t_sharded:.3f}s"
     )
-    trajectory.append(
-        {
-            "label": "table1/jobs4-vs-jobs1",
-            "jobs1_seconds": t_serial,
-            "jobs4_seconds": t_sharded,
-            "speedup": t_serial / t_sharded,
-        }
-    )
     # sched_getaffinity respects cgroup/affinity limits; cpu_count()
     # reports the host and would assert on throttled containers.
     try:
         cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         cpus = os.cpu_count() or 1
+    trajectory.append(
+        {
+            "label": "table1/jobs4-vs-jobs1",
+            "jobs1_seconds": t_serial,
+            "jobs4_seconds": t_sharded,
+            "cpu_count": cpus,
+            "speedup": t_serial / t_sharded,
+        }
+    )
     if cpus >= 4:
         assert t_sharded < t_serial, (
             f"jobs=4 ({t_sharded:.3f}s) did not beat jobs=1 "
